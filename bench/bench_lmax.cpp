@@ -1,0 +1,61 @@
+// Hierarchy-truncation ablation: how large must lmax be relative to
+// k tau0?
+//
+// The paper carries "up to 10,000 moments l" so that the photon
+// hierarchy free-streams to the present without reflections from the
+// truncation (the spherical-Bessel closure helps but cannot rescue a
+// hierarchy shorter than the populated range l <~ k tau0).  The bench
+// sweeps the lmax margin at fixed k and reports the change in the C_l
+// integrand Theta_l at a probe multipole, plus the cost.
+
+#include <cstdio>
+#include <cmath>
+
+#include "boltzmann/mode_evolution.hpp"
+
+int main() {
+  using namespace plinger;
+  const auto params = cosmo::CosmoParams::standard_cdm();
+  const cosmo::Background bg(params);
+  const cosmo::Recombination rec(bg);
+  const double tau0 = bg.conformal_age();
+
+  const double k = 0.025;
+  const std::size_t l_probe = 200;  // < k tau0 ~ 296
+  std::printf("== ablation: photon hierarchy size ==\n");
+  std::printf("k = %.3f Mpc^-1, k tau0 = %.0f, probing Theta_%zu(tau0)"
+              "\n\n",
+              k, k * tau0, l_probe);
+
+  boltzmann::PerturbationConfig cfg;
+  cfg.rtol = 1e-6;
+  const boltzmann::ModeEvolver evolver(bg, rec, cfg);
+
+  // Reference: generous margin.
+  boltzmann::EvolveRequest ref_req;
+  ref_req.k = k;
+  ref_req.lmax_photon =
+      static_cast<std::size_t>(1.6 * k * tau0) + 100;
+  const auto ref = evolver.evolve(ref_req);
+  const double ref_theta = ref.f_gamma[l_probe] / 4.0;
+  std::printf("reference (lmax = %zu): Theta_%zu = %+.6e\n\n", ref.lmax,
+              l_probe, ref_theta);
+
+  std::printf("   lmax    lmax/(k tau0)    CPU [s]    rel. error in "
+              "Theta_%zu\n",
+              l_probe);
+  for (double margin : {0.7, 0.85, 1.0, 1.15, 1.3}) {
+    boltzmann::EvolveRequest req;
+    req.k = k;
+    req.lmax_photon = static_cast<std::size_t>(margin * k * tau0) + 10;
+    const auto r = evolver.evolve(req);
+    std::printf("  %5zu       %.2f         %6.3f       %.3e\n", r.lmax,
+                static_cast<double>(r.lmax) / (k * tau0), r.cpu_seconds,
+                std::abs(r.f_gamma[l_probe] / 4.0 - ref_theta) /
+                    std::abs(ref_theta));
+  }
+  std::printf("\n(margins below ~1 reflect truncation error back into "
+              "the retained moments;\n the default 1.15 + pad keeps the "
+              "error at the sub-percent level)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Future-work ablation: LINGER's full Boltzmann hierarchy versus the
+// line-of-sight method that succeeded it (CMBFAST, 1996).
+//
+// The paper integrates every photon moment to the present ("up to 10,000
+// moments l ... 75 C90 CPU-hours").  The line-of-sight decomposition
+// needs only a short hierarchy for the sources and projects the
+// multipoles afterwards, trading a small controlled error (we neglect
+// the polarization correction to the source) for a large speedup that
+// grows with k.  This bench quantifies both sides on identical k-modes
+// and at the assembled C_l level.
+
+#include <cstdio>
+#include <cmath>
+
+#include "boltzmann/los.hpp"
+#include "plinger/driver.hpp"
+#include "spectra/cl.hpp"
+
+int main() {
+  using namespace plinger;
+  const auto params = cosmo::CosmoParams::standard_cdm();
+  const cosmo::Background bg(params);
+  const cosmo::Recombination rec(bg);
+
+  std::printf("== ablation: full hierarchy (LINGER) vs line-of-sight "
+              "(the CMBFAST successor) ==\n\n");
+
+  boltzmann::PerturbationConfig cfg;
+  cfg.rtol = 1e-5;
+  boltzmann::ModeEvolver ev(bg, rec, cfg);
+  const auto taus = boltzmann::los_sample_taus(bg, rec);
+
+  std::printf("per-mode cost (CPU seconds):\n");
+  std::printf("   k [1/Mpc]   lmax_full   full [s]    LOS [s]   "
+              "speedup\n");
+  for (double k : {0.01, 0.03, 0.06, 0.1}) {
+    boltzmann::EvolveRequest full_req;
+    full_req.k = k;
+    const auto full = ev.evolve(full_req);
+    boltzmann::EvolveRequest los_req;
+    los_req.k = k;
+    los_req.lmax_photon = 40;
+    los_req.sample_taus = taus;
+    const auto los = ev.evolve(los_req);
+    std::printf("   %.3f        %5zu     %7.3f    %7.3f    %5.1fx\n", k,
+                full.lmax, full.cpu_seconds, los.cpu_seconds,
+                full.cpu_seconds / los.cpu_seconds);
+  }
+
+  // Assembled C_l comparison on a common k-grid.
+  const std::size_t l_max = 350;
+  const auto kgrid = spectra::make_cl_kgrid(l_max, bg.conformal_age(),
+                                            2.0);
+  const parallel::KSchedule schedule(kgrid,
+                                     parallel::IssueOrder::largest_first);
+  spectra::ClAccumulator acc_full(l_max, spectra::PowerLawSpectrum{});
+  spectra::ClAccumulator acc_los(l_max, spectra::PowerLawSpectrum{});
+  double cpu_full = 0.0, cpu_los = 0.0;
+  std::printf("\nassembling C_l both ways over %zu modes...\n",
+              schedule.size());
+  for (std::size_t ik = schedule.ik_first(); ik != 0;
+       ik = schedule.ik_next(ik)) {
+    const double k = schedule.k_of_ik(ik);
+    const double w = schedule.weight_of_ik(ik);
+    boltzmann::EvolveRequest full_req;
+    full_req.k = k;
+    const auto full = ev.evolve(full_req);
+    acc_full.add_mode(k, w, full.f_gamma);
+    cpu_full += full.cpu_seconds;
+
+    boltzmann::EvolveRequest los_req;
+    los_req.k = k;
+    los_req.lmax_photon = 40;
+    los_req.sample_taus = taus;
+    const auto los = ev.evolve(los_req);
+    acc_los.add_mode(k, w, boltzmann::los_f_gamma(bg, rec, los, l_max));
+    cpu_los += los.cpu_seconds;
+  }
+  auto cl_full = acc_full.temperature();
+  auto cl_los = acc_los.temperature();
+  spectra::normalize_to_cobe_quadrupole(cl_full, 18e-6, params.t_cmb);
+  spectra::normalize_to_cobe_quadrupole(cl_los, 18e-6, params.t_cmb);
+
+  std::printf("total CPU: full %.1f s, LOS %.1f s (speedup %.1fx)\n\n",
+              cpu_full, cpu_los, cpu_full / cpu_los);
+  std::printf("   l     Dl_full       Dl_LOS      LOS/full\n");
+  for (std::size_t l = 10; l <= l_max; l += (l < 50 ? 20 : 50)) {
+    std::printf("  %3zu   %.4e   %.4e    %.3f\n", l, cl_full.dl(l),
+                cl_los.dl(l), cl_los.dl(l) / cl_full.dl(l));
+  }
+  std::printf("\n(the line-of-sight curve tracks the full hierarchy at "
+              "the few-percent level\n while the per-mode cost stops "
+              "growing with k tau0 — the CMBFAST insight)\n");
+  return 0;
+}

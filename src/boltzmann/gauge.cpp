@@ -1,0 +1,66 @@
+#include "boltzmann/gauge.hpp"
+
+#include <cmath>
+
+namespace plinger::boltzmann {
+
+namespace {
+/// delta and theta shifted to the Newtonian gauge for equation-of-state
+/// parameter w: delta^N = delta^S + alpha rho_bar'/rho_bar
+///            = delta^S - 3 (1+w) (a'/a) alpha.
+/// (Sign fixed by the superhorizon checks delta_gamma^N = -2 psi and
+/// theta^N = alpha k^2 matching MB95's Newtonian initial conditions.)
+NewtonianFluid shift(double delta_s, double theta_s, double sigma, double w,
+                     double adotoa, double alpha, double k) {
+  NewtonianFluid f;
+  f.delta = delta_s - 3.0 * (1.0 + w) * adotoa * alpha;
+  f.theta = theta_s + alpha * k * k;
+  f.sigma = sigma;
+  return f;
+}
+}  // namespace
+
+NewtonianState to_newtonian_gauge(const ModeEquations& eq, double tau,
+                                  std::span<const double> y) {
+  const auto c = eq.couplings(tau, y);
+  const auto& L = eq.layout();
+  const double k = eq.k();
+
+  NewtonianState s;
+  s.alpha = c.alpha;
+  s.potentials = eq.newtonian(tau, y);
+  s.cdm = shift(y[StateLayout::delta_c], 0.0, 0.0, 0.0, c.adotoa,
+                c.alpha, k);
+  s.baryon = shift(y[StateLayout::delta_b], y[StateLayout::theta_b], 0.0,
+                   0.0, c.adotoa, c.alpha, k);
+  s.photon = shift(y[StateLayout::delta_g], y[StateLayout::theta_g],
+                   0.5 * y[L.fg(2)], 1.0 / 3.0, c.adotoa, c.alpha, k);
+  s.neutrino =
+      shift(y[L.fn(0)], 0.75 * k * y[L.fn(1)], 0.5 * y[L.fn(2)],
+            1.0 / 3.0, c.adotoa, c.alpha, k);
+  return s;
+}
+
+double comoving_density_contrast(const ModeEquations& eq, double tau,
+                                 std::span<const double> y) {
+  // Delta = (delta rho + 3 (a'/a) (rho+p) theta / k^2) / rho, assembled
+  // from the same gdrho/gdq sums the Einstein constraints use (gauge
+  // invariant, so synchronous inputs are fine).
+  const auto c = eq.couplings(tau, y);
+  const double k2 = eq.k() * eq.k();
+  const double rho_pert = c.grho.total() - c.grho.lambda;
+  return (c.gdrho + 3.0 * c.adotoa * c.gdq / k2) / rho_pert;
+}
+
+double poisson_residual(const ModeEquations& eq, double tau,
+                        std::span<const double> y) {
+  const auto c = eq.couplings(tau, y);
+  const double k2 = eq.k() * eq.k();
+  const auto pot = eq.newtonian(tau, y);
+  // k^2 phi = -4 pi G a^2 rho Delta = -(gdrho + 3 (a'/a) gdq / k^2)/2.
+  const double lhs = k2 * pot.phi;
+  const double rhs = -0.5 * (c.gdrho + 3.0 * c.adotoa * c.gdq / k2);
+  return std::abs(lhs - rhs) / (std::abs(lhs) + std::abs(rhs) + 1e-300);
+}
+
+}  // namespace plinger::boltzmann

@@ -1,0 +1,58 @@
+#pragma once
+
+/// Gauge transformations of the fluid perturbations.
+///
+/// LINGER evolves in synchronous gauge; the paper's movie shows the
+/// conformal Newtonian potential psi, and comparisons with analytic
+/// results are cleanest in Newtonian or gauge-invariant variables.  This
+/// module applies the MB95 eq. (27) transformation
+///
+///   delta^(N) = delta^(S) + alpha * (rho_bar'/rho_bar)
+///             = delta^(S) - 3 (1+w) (a'/a) alpha,
+///   theta^(N) = theta^(S) + alpha k^2,
+///   sigma^(N) = sigma^(S),
+///
+/// with alpha = (h' + 6 eta')/(2 k^2), and exposes the comoving-gauge
+/// ("gauge-invariant") density contrast
+///
+///   Delta_i = delta_i + 3 (1+w_i) (a'/a) theta_i / k^2
+///
+/// plus a Poisson-equation residual diagnostic for the test suite:
+/// in the Newtonian gauge   k^2 phi = -4 pi G a^2 rho_bar Delta_total.
+
+#include <span>
+
+#include "boltzmann/equations.hpp"
+
+namespace plinger::boltzmann {
+
+/// One species' perturbations in the conformal Newtonian gauge.
+struct NewtonianFluid {
+  double delta = 0.0;
+  double theta = 0.0;
+  double sigma = 0.0;
+};
+
+/// All species transformed at one instant.
+struct NewtonianState {
+  NewtonianFluid cdm, baryon, photon, neutrino;
+  NewtonianPotentials potentials;
+  double alpha = 0.0;  ///< the gauge shift (h' + 6 eta')/(2 k^2)
+};
+
+/// Transform the synchronous state of a mode at (tau, y).
+NewtonianState to_newtonian_gauge(const ModeEquations& eq, double tau,
+                                  std::span<const double> y);
+
+/// Comoving-gauge total matter+radiation density contrast
+/// Delta = sum_i rho_i Delta_i / sum_i rho_i (gauge invariant).
+double comoving_density_contrast(const ModeEquations& eq, double tau,
+                                 std::span<const double> y);
+
+/// |k^2 phi + 4 pi G a^2 rho Delta| / (|k^2 phi| + |4 pi G a^2 rho
+/// Delta|): the relativistic Poisson equation residual, ~0 for a
+/// consistent solution at every epoch and scale.
+double poisson_residual(const ModeEquations& eq, double tau,
+                        std::span<const double> y);
+
+}  // namespace plinger::boltzmann

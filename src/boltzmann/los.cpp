@@ -1,0 +1,110 @@
+#include "boltzmann/los.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "math/bessel.hpp"
+#include "math/spline.hpp"
+
+namespace plinger::boltzmann {
+
+std::vector<double> los_sample_taus(const cosmo::Background& bg,
+                                    const cosmo::Recombination& rec,
+                                    const LosOptions& opts) {
+  const double tau_star = rec.tau_star();
+  const double tau0 = bg.conformal_age();
+
+  // Estimate the visibility width from its second moment on a coarse
+  // scan around the peak.
+  double norm = 0.0, var = 0.0;
+  const int n_scan = 400;
+  const double lo = 0.3 * tau_star, hi = std::min(3.0 * tau_star, tau0);
+  for (int i = 0; i < n_scan; ++i) {
+    const double t = lo + (hi - lo) * (i + 0.5) / n_scan;
+    const double g = rec.visibility(t);
+    norm += g;
+    var += g * (t - tau_star) * (t - tau_star);
+  }
+  const double sigma = std::sqrt(var / norm);
+
+  const double w = opts.rec_width_sigmas * sigma;
+  const double t_lo = std::max(0.05 * tau_star, tau_star - w);
+  const double t_hi = std::min(tau_star + w, 0.99 * tau0);
+
+  std::vector<double> taus;
+  taus.reserve(opts.n_rec_samples + opts.n_late_samples);
+  for (std::size_t i = 0; i < opts.n_rec_samples; ++i) {
+    taus.push_back(t_lo + (t_hi - t_lo) * static_cast<double>(i) /
+                              static_cast<double>(opts.n_rec_samples - 1));
+  }
+  // Late-time (ISW) samples up to just short of today.
+  const double late_end = 0.998 * tau0;
+  for (std::size_t i = 1; i <= opts.n_late_samples; ++i) {
+    taus.push_back(t_hi + (late_end - t_hi) * static_cast<double>(i) /
+                              static_cast<double>(opts.n_late_samples));
+  }
+  return taus;
+}
+
+std::vector<double> los_f_gamma(const cosmo::Background& bg,
+                                const cosmo::Recombination& rec,
+                                const ModeResult& mode,
+                                std::size_t l_max) {
+  const auto& samples = mode.samples;
+  PLINGER_REQUIRE(samples.size() >= 16,
+                  "los_f_gamma: too few source samples");
+  const double k = mode.k;
+  const double tau0 = mode.tau_end;
+
+  // Source terms per sample (conformal Newtonian gauge).
+  const std::size_t n = samples.size();
+  std::vector<double> tau(n), s_mono(n), s_dopp(n), phipsi(n), ekappa(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const TransferSample& s = samples[j];
+    tau[j] = s.tau;
+    const double adotoa = bg.adotoa(s.a);
+    const double theta0_n = 0.25 * (s.delta_g - 4.0 * adotoa * s.alpha);
+    const double vb_n = (s.theta_b + s.alpha * k * k) / k;
+    const double g = rec.visibility(s.tau);
+    s_mono[j] = g * (theta0_n + s.psi);
+    s_dopp[j] = g * vb_n;
+    phipsi[j] = s.phi + s.psi;
+    ekappa[j] = std::exp(-std::min(680.0, rec.kappa(s.tau)));
+  }
+  // ISW: e^{-kappa} d(phi+psi)/dtau via a spline derivative.
+  const plinger::math::CubicSpline pp(tau, phipsi);
+  for (std::size_t j = 0; j < n; ++j) {
+    s_mono[j] += ekappa[j] * pp.derivative(tau[j]);
+  }
+
+  // Trapezoid projection onto j_l(k (tau0 - tau)).
+  std::vector<double> theta(l_max + 1, 0.0);
+  std::vector<double> jl(l_max + 2, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double w =
+        (j == 0)       ? 0.5 * (tau[1] - tau[0])
+        : (j == n - 1) ? 0.5 * (tau[n - 1] - tau[n - 2])
+                       : 0.5 * (tau[j + 1] - tau[j - 1]);
+    const double x = k * (tau0 - tau[j]);
+    plinger::math::sph_bessel_j_array(x, jl);
+    for (std::size_t l = 0; l <= l_max; ++l) {
+      // j_l'(x) = j_{l-1}(x) - (l+1)/x j_l(x); j_0' = -j_1.
+      double jlp;
+      if (l == 0) {
+        jlp = -jl[1];
+      } else if (x > 1e-12) {
+        jlp = jl[l - 1] - (static_cast<double>(l) + 1.0) / x * jl[l];
+      } else {
+        jlp = (l == 1) ? 1.0 / 3.0 : 0.0;
+      }
+      theta[l] += w * (s_mono[j] * jl[l] + s_dopp[j] * jlp);
+    }
+  }
+
+  // Back to the MB95 moment convention F_l = 4 Theta_l.
+  for (double& t : theta) t *= 4.0;
+  return theta;
+}
+
+}  // namespace plinger::boltzmann

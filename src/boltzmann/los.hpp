@@ -1,0 +1,51 @@
+#pragma once
+
+/// Line-of-sight integration of the temperature transfer function — the
+/// paper's community's next step (it became CMBFAST, Seljak &
+/// Zaldarriaga 1996), included here as an extension/ablation against
+/// LINGER's full-hierarchy method.
+///
+/// Instead of carrying the photon hierarchy to lmax ~ k tau0, the mode
+/// is evolved with a short hierarchy (the sources only need the first
+/// few moments) and the observed multipoles are projected afterwards:
+///
+///   Theta_l(k) = int dtau [ g (Theta0^N + psi) j_l(x)
+///                         + g v_b^N j_l'(x)
+///                         + e^{-kappa} (phi' + psi') j_l(x) ],
+///
+/// with x = k (tau0 - tau), g the visibility function, and all fluid
+/// quantities in the conformal Newtonian gauge.  The small polarization
+/// (Pi) correction terms are neglected, costing ~ a percent on C_l^T —
+/// the ablation bench quantifies both the speedup and this error.
+
+#include <cstddef>
+#include <vector>
+
+#include "boltzmann/mode_evolution.hpp"
+
+namespace plinger::boltzmann {
+
+/// Controls for the line-of-sight projection.
+struct LosOptions {
+  std::size_t lmax_evolve = 40;   ///< short hierarchy for the sources
+  std::size_t n_rec_samples = 160;  ///< across the visibility peak
+  std::size_t n_late_samples = 80;  ///< recombination -> today (ISW)
+  double rec_width_sigmas = 7.0;    ///< half-width of the dense window
+};
+
+/// Sample times for the source integrals of the given cosmology (shared
+/// by every mode).
+std::vector<double> los_sample_taus(const cosmo::Background& bg,
+                                    const cosmo::Recombination& rec,
+                                    const LosOptions& opts = LosOptions{});
+
+/// Project Theta_l(k, tau0) for l = 0..l_max from a mode evolution that
+/// recorded TransferSamples at los_sample_taus().  Returns F_l = 4
+/// Theta_l in the MB95 convention so the result feeds ClAccumulator
+/// exactly like ModeResult::f_gamma does.
+std::vector<double> los_f_gamma(const cosmo::Background& bg,
+                                const cosmo::Recombination& rec,
+                                const ModeResult& mode,
+                                std::size_t l_max);
+
+}  // namespace plinger::boltzmann

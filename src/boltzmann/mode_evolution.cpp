@@ -1,0 +1,164 @@
+#include "boltzmann/mode_evolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timing.hpp"
+#include "math/brent.hpp"
+
+namespace plinger::boltzmann {
+
+ModeEvolver::ModeEvolver(const cosmo::Background& bg,
+                         const cosmo::Recombination& rec,
+                         const PerturbationConfig& cfg)
+    : bg_(bg), rec_(rec), cfg_(cfg) {}
+
+namespace {
+
+TransferSample make_sample(const ModeEquations& eq, double tau,
+                           std::span<const double> y) {
+  const StateLayout& L = eq.layout();
+  TransferSample s;
+  s.tau = tau;
+  s.a = y[StateLayout::a];
+  s.delta_c = y[StateLayout::delta_c];
+  s.delta_b = y[StateLayout::delta_b];
+  s.delta_g = y[StateLayout::delta_g];
+  s.delta_nu = y[L.fn(0)];
+  s.delta_m = eq.delta_matter(y);
+  s.theta_b = y[StateLayout::theta_b];
+  s.theta_g = y[StateLayout::theta_g];
+  s.eta = y[StateLayout::eta];
+  s.h = y[StateLayout::h];
+  const NewtonianPotentials p = eq.newtonian(tau, y);
+  s.phi = p.phi;
+  s.psi = p.psi;
+  s.alpha = eq.couplings(tau, y).alpha;
+  s.pi_pol = y[L.fg(2)] + y[L.gg(0)] + y[L.gg(2)];
+  return s;
+}
+
+}  // namespace
+
+ModeResult ModeEvolver::evolve(const EvolveRequest& req,
+                               double tau_end) const {
+  PLINGER_REQUIRE(req.k > 0.0, "evolve: k must be positive");
+  const double cpu0 = thread_cpu_seconds();
+
+  const double tau0 = bg_.conformal_age();
+  if (tau_end <= 0.0) tau_end = tau0;
+  PLINGER_REQUIRE(tau_end <= tau0 + 1e-9, "evolve: tau_end beyond today");
+
+  PerturbationConfig cfg = cfg_;
+  cfg.lmax_photon = (req.lmax_photon != 0)
+                        ? req.lmax_photon
+                        : lmax_photon_for_k(req.k, tau_end);
+  ModeEquations eq(bg_, rec_, cfg, req.k);
+
+  // Start superhorizon AND radiation-dominated.
+  const double tau_init =
+      std::min(cfg.ic_eps / req.k,
+               bg_.tau_of_a(bg_.a_equality() / cfg.early_a_factor));
+  PLINGER_REQUIRE(tau_init < tau_end, "evolve: tau range is empty");
+
+  // Tight-coupling exit: the validity margin shrinks monotonically, so a
+  // single bracketed root gives the switch time.
+  double tau_switch = tau_init;
+  if (eq.tca_valid(tau_init)) {
+    const double a_forced = 1.0 / (1.0 + cfg.tca_exit_z);
+    double tau_forced = bg_.tau_of_a(a_forced);
+    tau_forced = std::min(tau_forced, tau_end);
+    auto margin = [&](double tau) {
+      const double a = bg_.a_of_tau(tau);
+      return cfg.tca_eps * rec_.opacity(a) -
+             std::max(req.k, bg_.adotoa(a));
+    };
+    if (margin(tau_forced) >= 0.0) {
+      // Thresholds never trip before the forced-exit redshift.
+      tau_switch = tau_forced;
+    } else {
+      tau_switch = plinger::math::brent_root(margin, tau_init, tau_forced,
+                                             1e-10 * tau_forced);
+    }
+  }
+
+  // Integration breakpoints: switch point plus every in-range sample.
+  std::vector<double> stops;
+  for (double t : req.sample_taus) {
+    if (t > tau_init && t < tau_end) stops.push_back(t);
+  }
+  stops.push_back(tau_switch);
+  stops.push_back(tau_end);
+  std::sort(stops.begin(), stops.end());
+  stops.erase(std::unique(stops.begin(), stops.end(),
+                          [](double a, double b) {
+                            return std::abs(a - b) < 1e-12;
+                          }),
+              stops.end());
+
+  ModeResult result;
+  result.k = req.k;
+  result.lmax = cfg.lmax_photon;
+  result.tau_init = tau_init;
+  result.tau_switch = tau_switch;
+  result.tau_end = tau_end;
+
+  std::vector<double> y = eq.initial_conditions(tau_init);
+  plinger::math::Dverk integrator;
+  plinger::math::OdeOptions opts;
+  opts.rtol = cfg.rtol;
+  opts.atol = cfg.atol;
+
+  auto want_sample = [&](double t) {
+    return std::any_of(req.sample_taus.begin(), req.sample_taus.end(),
+                       [t](double s) { return std::abs(s - t) < 1e-12; });
+  };
+
+  bool in_tca = tau_switch > tau_init;
+  double t_cur = tau_init;
+  for (double t_next : stops) {
+    if (t_next <= t_cur) continue;
+    auto rhs = [&eq, in_tca](double t, std::span<const double> yy,
+                             std::span<double> dd) {
+      if (in_tca) {
+        eq.rhs_tca(t, yy, dd);
+      } else {
+        eq.rhs_full(t, yy, dd);
+      }
+    };
+    const auto stats = integrator.integrate(rhs, t_cur, t_next, y, opts);
+    result.stats.n_accepted += stats.n_accepted;
+    result.stats.n_rejected += stats.n_rejected;
+    result.stats.n_rhs += stats.n_rhs;
+    t_cur = t_next;
+
+    if (in_tca && std::abs(t_cur - tau_switch) < 1e-12) {
+      eq.tca_handoff(t_cur, y);
+      in_tca = false;
+    }
+    if (want_sample(t_cur)) {
+      result.samples.push_back(make_sample(eq, t_cur, y));
+    }
+  }
+
+  // Final outputs at tau_end.
+  result.final_state = make_sample(eq, tau_end, y);
+  const StateLayout& L = eq.layout();
+  result.f_gamma.resize(cfg.lmax_photon + 1);
+  result.g_gamma.resize(L.lmax_polarization() + 1);
+  result.f_gamma[0] = y[StateLayout::delta_g];
+  result.f_gamma[1] = 4.0 / (3.0 * req.k) * y[StateLayout::theta_g];
+  for (std::size_t l = 2; l <= cfg.lmax_photon; ++l) {
+    result.f_gamma[l] = y[L.fg(l)];
+  }
+  for (std::size_t l = 0; l <= L.lmax_polarization(); ++l) {
+    result.g_gamma[l] = y[L.gg(l)];
+  }
+
+  result.flops = eq.rhs_calls() * eq.flops_per_rhs();
+  result.cpu_seconds = thread_cpu_seconds() - cpu0;
+  return result;
+}
+
+}  // namespace plinger::boltzmann

@@ -1,0 +1,55 @@
+#pragma once
+
+/// Physical constants (SI unless noted) and the unit conventions used
+/// throughout plinger++.
+///
+/// Conventions (following LINGER / CMBFAST practice):
+///  * conformal time tau and comoving lengths are measured in Mpc
+///    (with c = 1, i.e. "Mpc of light travel"),
+///  * wavenumbers k in Mpc^-1,
+///  * the scale factor is normalized to a = 1 today,
+///  * background densities enter the equations as
+///      grho_i(a) = 8 pi G a^2 rho_i / c^2   [Mpc^-2],
+///    so the Friedmann equation reads (a'/a)^2 = sum_i grho_i(a) / 3.
+
+namespace plinger::constants {
+
+// --- fundamental (CODATA-era values; exactness is irrelevant at our
+// --- reproduction accuracy but we keep full published precision) ---
+inline constexpr double c_light = 2.99792458e8;       ///< m/s
+inline constexpr double G_newton = 6.67430e-11;       ///< m^3 kg^-1 s^-2
+inline constexpr double k_boltzmann = 1.380649e-23;   ///< J/K
+inline constexpr double h_planck = 6.62607015e-34;    ///< J s
+inline constexpr double hbar = 1.054571817e-34;       ///< J s
+inline constexpr double eV = 1.602176634e-19;         ///< J
+inline constexpr double m_electron = 9.1093837015e-31;  ///< kg
+inline constexpr double m_hydrogen = 1.6735575e-27;     ///< kg (H atom)
+inline constexpr double sigma_thomson = 6.6524587321e-29;  ///< m^2
+/// Radiation constant a_R = 4 sigma_SB / c.
+inline constexpr double a_radiation = 7.565723e-16;  ///< J m^-3 K^-4
+
+// --- astronomical ---
+inline constexpr double mpc_in_m = 3.085677581491367e22;  ///< m per Mpc
+/// Hubble distance for h = 1: c / (100 km/s/Mpc) in Mpc.
+inline constexpr double hubble_distance_mpc = 2997.92458;
+
+// --- atomic physics for recombination ---
+inline constexpr double E_ion_H = 13.598433 * eV;    ///< H ionization (J)
+inline constexpr double E_ion_H_n2 = E_ion_H / 4.0;  ///< from n=2 (J)
+/// Lyman-alpha transition energy E(1s->2p) = (3/4) * 13.6 eV.
+inline constexpr double E_lyman_alpha = 0.75 * E_ion_H;
+inline constexpr double lambda_lyman_alpha = 1.215668e-7;  ///< m
+/// Two-photon 2s -> 1s decay rate.
+inline constexpr double lambda_2s1s = 8.227;  ///< s^-1
+inline constexpr double E_ion_HeI = 24.587387 * eV;   ///< J
+inline constexpr double E_ion_HeII = 54.417760 * eV;  ///< J
+
+/// Critical density today for h = 1, in kg/m^3:
+/// rho_crit = 3 (100 km/s/Mpc)^2 / (8 pi G).
+inline constexpr double rho_crit_h2 = 1.8784e-26;
+
+/// Neutrino-to-photon temperature ratio (4/11)^(1/3) after e+e-
+/// annihilation (instantaneous-decoupling value used by LINGER).
+inline constexpr double t_nu_over_t_gamma = 0.7137658555036082;
+
+}  // namespace plinger::constants

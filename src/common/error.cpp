@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace plinger::detail {
+
+void throw_requirement_failure(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement violated: " << msg << " [" << expr << " at " << file
+     << ":" << line << "]";
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace plinger::detail

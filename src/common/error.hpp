@@ -1,0 +1,46 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace plinger {
+
+/// Base exception for all plinger++ errors.  Carries a human-readable message
+/// describing what went wrong and, where possible, the offending value.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-supplied parameters fail validation (negative densities,
+/// empty grids, out-of-range tolerances, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge (integrator step-size
+/// underflow, root bracketing failure, quadrature non-convergence, ...).
+class NumericalFailure : public Error {
+ public:
+  explicit NumericalFailure(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+/// Implementation of PLINGER_REQUIRE: formats and throws InvalidArgument.
+[[noreturn]] void throw_requirement_failure(const char* expr, const char* file,
+                                            int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace plinger
+
+/// Precondition check that throws plinger::InvalidArgument when violated.
+/// Unlike assert() it is active in release builds: these guard public API
+/// boundaries, not internal invariants.
+#define PLINGER_REQUIRE(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::plinger::detail::throw_requirement_failure(#expr, __FILE__,         \
+                                                   __LINE__, (msg));        \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,34 @@
+#pragma once
+
+/// Wallclock and per-thread CPU timers.  The paper's Figure 1 plots both
+/// total CPU time (their etime calls) and wallclock; we mirror that split.
+
+#include <chrono>
+#include <ctime>
+
+namespace plinger {
+
+/// Monotonic wallclock seconds since an arbitrary origin.
+inline double wallclock_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// CPU seconds consumed by the calling thread.
+inline double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// CPU seconds consumed by the whole process (all threads).
+inline double process_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace plinger

@@ -1,0 +1,50 @@
+#include "io/ascii_table.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace plinger::io {
+
+AsciiTableWriter::AsciiTableWriter(std::ostream& os,
+                                   std::vector<std::string> columns,
+                                   int precision)
+    : os_(os), n_cols_(columns.size()), precision_(precision) {
+  PLINGER_REQUIRE(!columns.empty(), "AsciiTableWriter: no columns");
+  os_ << "#";
+  for (const auto& c : columns) {
+    os_ << " " << std::setw(precision_ + 8) << c;
+  }
+  os_ << "\n";
+}
+
+void AsciiTableWriter::row(std::span<const double> values) {
+  PLINGER_REQUIRE(values.size() == n_cols_,
+                  "AsciiTableWriter: column count mismatch");
+  os_ << " ";
+  for (double v : values) {
+    os_ << " " << std::setw(precision_ + 8) << std::scientific
+        << std::setprecision(precision_) << v;
+  }
+  os_ << "\n";
+  ++n_rows_;
+}
+
+std::vector<std::vector<double>> read_ascii_table(std::istream& is) {
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::vector<double> row;
+    double v = 0.0;
+    while (ls >> v) row.push_back(v);
+    if (!row.empty()) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace plinger::io

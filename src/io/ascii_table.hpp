@@ -1,0 +1,37 @@
+#pragma once
+
+/// Column-formatted ASCII tables — the master's "unit_1" output stream
+/// (Appendix A writes the 21-double result header per wavenumber to an
+/// ascii file), also used by the benches to emit figure data.
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plinger::io {
+
+/// Writes aligned numeric columns with a '#'-prefixed header line.
+class AsciiTableWriter {
+ public:
+  /// The stream must outlive the writer.
+  AsciiTableWriter(std::ostream& os, std::vector<std::string> columns,
+                   int precision = 8);
+
+  /// Write one row; values.size() must match the column count.
+  void row(std::span<const double> values);
+
+  std::size_t rows_written() const { return n_rows_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t n_cols_;
+  int precision_;
+  std::size_t n_rows_ = 0;
+};
+
+/// Read back a table written by AsciiTableWriter (or any whitespace
+/// table with '#' comments).  Returns row-major values.
+std::vector<std::vector<double>> read_ascii_table(std::istream& is);
+
+}  // namespace plinger::io

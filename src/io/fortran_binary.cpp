@@ -1,0 +1,35 @@
+#include "io/fortran_binary.hpp"
+
+#include "common/error.hpp"
+
+namespace plinger::io {
+
+void FortranRecordWriter::record(std::span<const double> values) {
+  const auto bytes = static_cast<std::uint32_t>(values.size() *
+                                                sizeof(double));
+  os_.write(reinterpret_cast<const char*>(&bytes), sizeof(bytes));
+  os_.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(bytes));
+  os_.write(reinterpret_cast<const char*>(&bytes), sizeof(bytes));
+  PLINGER_REQUIRE(os_.good(), "FortranRecordWriter: stream failure");
+  ++n_records_;
+}
+
+bool FortranRecordReader::next(std::vector<double>& out) {
+  std::uint32_t head = 0;
+  is_.read(reinterpret_cast<char*>(&head), sizeof(head));
+  if (is_.eof()) return false;
+  PLINGER_REQUIRE(is_.good(), "FortranRecordReader: stream failure");
+  PLINGER_REQUIRE(head % sizeof(double) == 0,
+                  "FortranRecordReader: record is not doubles");
+  out.resize(head / sizeof(double));
+  is_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(head));
+  std::uint32_t tail = 0;
+  is_.read(reinterpret_cast<char*>(&tail), sizeof(tail));
+  PLINGER_REQUIRE(is_.good() && head == tail,
+                  "FortranRecordReader: corrupt record framing");
+  return true;
+}
+
+}  // namespace plinger::io

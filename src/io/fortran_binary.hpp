@@ -1,0 +1,44 @@
+#pragma once
+
+/// Fortran unformatted sequential records — the master's "unit_2" binary
+/// stream.  Each record is framed by 4-byte little-endian length markers
+/// (the classic gfortran/Cray convention), so LINGER-era analysis tools
+/// could read our output byte for byte.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+namespace plinger::io {
+
+/// Writes length-framed records of doubles to a binary stream.
+class FortranRecordWriter {
+ public:
+  explicit FortranRecordWriter(std::ostream& os) : os_(os) {}
+
+  /// Write one record.
+  void record(std::span<const double> values);
+
+  std::size_t records_written() const { return n_records_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t n_records_ = 0;
+};
+
+/// Reads records written by FortranRecordWriter.
+class FortranRecordReader {
+ public:
+  explicit FortranRecordReader(std::istream& is) : is_(is) {}
+
+  /// Read the next record; returns false on clean EOF.  Throws Error on
+  /// framing corruption (mismatched length markers).
+  bool next(std::vector<double>& out);
+
+ private:
+  std::istream& is_;
+};
+
+}  // namespace plinger::io

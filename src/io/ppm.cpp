@@ -1,0 +1,70 @@
+#include "io/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace plinger::io {
+
+namespace {
+unsigned char to_byte(double v) {
+  return static_cast<unsigned char>(
+      std::clamp(std::lround(v * 255.0), 0l, 255l));
+}
+}  // namespace
+
+void write_pgm(std::ostream& os, std::span<const double> data,
+               std::size_t nx, std::size_t ny, double lo, double hi) {
+  PLINGER_REQUIRE(data.size() == nx * ny, "write_pgm: size mismatch");
+  PLINGER_REQUIRE(hi > lo, "write_pgm: empty range");
+  os << "P5\n" << nx << " " << ny << "\n255\n";
+  for (double v : data) {
+    const unsigned char b = to_byte((v - lo) / (hi - lo));
+    os.write(reinterpret_cast<const char*>(&b), 1);
+  }
+  PLINGER_REQUIRE(os.good(), "write_pgm: stream failure");
+}
+
+void write_ppm_diverging(std::ostream& os, std::span<const double> data,
+                         std::size_t nx, std::size_t ny, double lo,
+                         double hi) {
+  PLINGER_REQUIRE(data.size() == nx * ny, "write_ppm: size mismatch");
+  PLINGER_REQUIRE(hi > lo, "write_ppm: empty range");
+  os << "P6\n" << nx << " " << ny << "\n255\n";
+  for (double v : data) {
+    // t in [-1, 1] about the center of the range.
+    const double t =
+        std::clamp(2.0 * (v - lo) / (hi - lo) - 1.0, -1.0, 1.0);
+    double r, g, b;
+    if (t < 0.0) {  // blue side
+      r = 1.0 + t;
+      g = 1.0 + t;
+      b = 1.0;
+    } else {  // red side
+      r = 1.0;
+      g = 1.0 - t;
+      b = 1.0 - t;
+    }
+    const unsigned char rgb[3] = {to_byte(r), to_byte(g), to_byte(b)};
+    os.write(reinterpret_cast<const char*>(rgb), 3);
+  }
+  PLINGER_REQUIRE(os.good(), "write_ppm: stream failure");
+}
+
+void write_pgm_file(const std::string& path, std::span<const double> data,
+                    std::size_t nx, std::size_t ny, double lo, double hi) {
+  std::ofstream f(path, std::ios::binary);
+  PLINGER_REQUIRE(f.is_open(), "write_pgm_file: cannot open " + path);
+  write_pgm(f, data, nx, ny, lo, hi);
+}
+
+void write_ppm_file(const std::string& path, std::span<const double> data,
+                    std::size_t nx, std::size_t ny, double lo, double hi) {
+  std::ofstream f(path, std::ios::binary);
+  PLINGER_REQUIRE(f.is_open(), "write_ppm_file: cannot open " + path);
+  write_ppm_diverging(f, data, nx, ny, lo, hi);
+}
+
+}  // namespace plinger::io

@@ -1,0 +1,31 @@
+#pragma once
+
+/// PGM/PPM image output for the Figure-3 sky map and the
+/// potential-evolution movie frames.
+
+#include <cstddef>
+#include <ostream>
+#include <span>
+#include <string>
+
+namespace plinger::io {
+
+/// Write a grayscale PGM (P5): data is row-major ny x nx, linearly
+/// mapped from [lo, hi] to 0..255 (values outside are clamped).
+void write_pgm(std::ostream& os, std::span<const double> data,
+               std::size_t nx, std::size_t ny, double lo, double hi);
+
+/// Write a PPM (P6) with a blue-white-red diverging colormap centered on
+/// zero, the conventional rendering for CMB delta-T maps: lo maps to
+/// saturated blue, hi to saturated red.
+void write_ppm_diverging(std::ostream& os, std::span<const double> data,
+                         std::size_t nx, std::size_t ny, double lo,
+                         double hi);
+
+/// Convenience wrappers writing to a file path.
+void write_pgm_file(const std::string& path, std::span<const double> data,
+                    std::size_t nx, std::size_t ny, double lo, double hi);
+void write_ppm_file(const std::string& path, std::span<const double> data,
+                    std::size_t nx, std::size_t ny, double lo, double hi);
+
+}  // namespace plinger::io

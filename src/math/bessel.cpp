@@ -1,0 +1,93 @@
+#include "math/bessel.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace plinger::math {
+
+namespace {
+
+/// Taylor series for small arguments:
+/// j_l(x) ~ x^l / (2l+1)!! (1 - x^2/(2(2l+3)) + ...).
+double series_small_x(std::size_t l, double x) {
+  double prefactor = 1.0;
+  for (std::size_t j = 1; j <= l; ++j) {
+    prefactor *= x / (2.0 * static_cast<double>(j) + 1.0);
+  }
+  const double x2 = x * x;
+  const double dl = static_cast<double>(l);
+  double term = 1.0;
+  double sum = 1.0;
+  for (int n = 1; n <= 10; ++n) {
+    const double dn = static_cast<double>(n);
+    term *= -0.5 * x2 / (dn * (2.0 * (dl + dn) + 1.0));
+    sum += term;
+    if (std::abs(term) < 1e-17 * std::abs(sum)) break;
+  }
+  return prefactor * sum;
+}
+
+}  // namespace
+
+void sph_bessel_j_array(double x, std::span<double> out) {
+  if (out.empty()) return;
+  const std::size_t lmax = out.size() - 1;
+  PLINGER_REQUIRE(x >= 0.0, "sph_bessel_j requires x >= 0");
+
+  if (x < 1e-3) {
+    for (std::size_t l = 0; l <= lmax; ++l) out[l] = series_small_x(l, x);
+    return;
+  }
+
+  const double j0 = std::sin(x) / x;
+  const double j1 = std::sin(x) / (x * x) - std::cos(x) / x;
+  out[0] = j0;
+  if (lmax == 0) return;
+  out[1] = j1;
+  if (lmax == 1) return;
+
+  if (static_cast<double>(lmax) < x) {
+    // Entirely in the oscillatory regime: upward recurrence is stable.
+    for (std::size_t l = 2; l <= lmax; ++l) {
+      out[l] = (2.0 * static_cast<double>(l) - 1.0) / x * out[l - 1] -
+               out[l - 2];
+    }
+    return;
+  }
+
+  // Miller's algorithm: downward recurrence from well past lmax with an
+  // arbitrary seed, then normalize against whichever of j0/j1 is larger
+  // (they cannot both vanish).
+  const std::size_t start =
+      lmax + 20 +
+      static_cast<std::size_t>(10.0 * std::sqrt(static_cast<double>(lmax)));
+  std::vector<double> tmp(lmax + 1, 0.0);
+  double jp2 = 0.0, jp1 = 1e-300;
+  for (std::size_t l = start; l-- > 0;) {
+    // j_l = (2l+3)/x j_{l+1} - j_{l+2}
+    const double j = (2.0 * static_cast<double>(l) + 3.0) / x * jp1 - jp2;
+    jp2 = jp1;
+    jp1 = j;
+    if (l <= lmax) tmp[l] = j;
+    if (std::abs(jp1) > 1e250) {  // rescale against overflow
+      jp1 *= 1e-250;
+      jp2 *= 1e-250;
+      for (std::size_t i = l; i <= lmax && i < tmp.size(); ++i) {
+        tmp[i] *= 1e-250;
+      }
+    }
+  }
+  const double norm =
+      (std::abs(j0) >= std::abs(j1)) ? j0 / tmp[0] : j1 / tmp[1];
+  for (std::size_t l = 2; l <= lmax; ++l) out[l] = tmp[l] * norm;
+}
+
+double sph_bessel_j(std::size_t l, double x) {
+  std::vector<double> buf(l + 1, 0.0);
+  sph_bessel_j_array(x, buf);
+  return buf[l];
+}
+
+}  // namespace plinger::math

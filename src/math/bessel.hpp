@@ -1,0 +1,22 @@
+#pragma once
+
+/// Spherical Bessel functions j_l(x).
+///
+/// Used for the free-streaming closure tests of the Boltzmann hierarchy
+/// (the truncation scheme approximates F_l ~ j_l(k tau)) and by the
+/// validation suite.  The implementation uses the standard stable
+/// strategy: upward recurrence for l < x, Miller's downward recurrence
+/// normalized against j_0 for l >= x, and the Taylor series near x = 0.
+
+#include <cstddef>
+#include <span>
+
+namespace plinger::math {
+
+/// j_l(x) for a single l (l >= 0, x >= 0).
+double sph_bessel_j(std::size_t l, double x);
+
+/// Fill out[l] = j_l(x) for l = 0..out.size()-1.
+void sph_bessel_j_array(double x, std::span<double> out);
+
+}  // namespace plinger::math

@@ -1,0 +1,71 @@
+#include "math/brent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace plinger::math {
+
+double brent_root(const std::function<double(double)>& f, double a, double b,
+                  double xtol, int max_iter) {
+  double fa = f(a), fb = f(b);
+  PLINGER_REQUIRE(fa * fb <= 0.0, "brent_root: interval does not bracket");
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol =
+        2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) +
+        0.5 * xtol;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0) return b;
+
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Inverse quadratic / secant interpolation.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc, r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  throw NumericalFailure("brent_root failed to converge");
+}
+
+}  // namespace plinger::math

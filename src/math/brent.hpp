@@ -1,0 +1,17 @@
+#pragma once
+
+/// Brent's method for one-dimensional root finding.  Used to invert
+/// monotonic relations such as tau(a), z of recombination, and the COBE
+/// normalization solve.
+
+#include <functional>
+
+namespace plinger::math {
+
+/// Find x in [a, b] with f(x) = 0, assuming f(a) and f(b) bracket a root.
+/// Converges to |interval| <= xtol + 4 eps |x|.  Throws InvalidArgument if
+/// the bracket is invalid and NumericalFailure on non-convergence.
+double brent_root(const std::function<double(double)>& f, double a, double b,
+                  double xtol = 1e-12, int max_iter = 200);
+
+}  // namespace plinger::math

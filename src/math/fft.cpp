@@ -1,0 +1,92 @@
+#include "math/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace plinger::math {
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft(std::span<std::complex<double>> data, int sign) {
+  const std::size_t n = data.size();
+  PLINGER_REQUIRE(is_pow2(n), "fft size must be a power of two");
+  PLINGER_REQUIRE(sign == 1 || sign == -1, "fft sign must be +-1");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        static_cast<double>(sign) * 2.0 * std::numbers::pi /
+        static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fft2d(std::span<std::complex<double>> data, std::size_t n, int sign) {
+  PLINGER_REQUIRE(data.size() == n * n, "fft2d: data must be n*n");
+  PLINGER_REQUIRE(is_pow2(n), "fft2d size must be a power of two");
+  // Rows.
+  for (std::size_t r = 0; r < n; ++r) {
+    fft(data.subspan(r * n, n), sign);
+  }
+  // Columns via transpose-free strided gather.
+  std::vector<std::complex<double>> col(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = data[r * n + c];
+    fft(col, sign);
+    for (std::size_t r = 0; r < n; ++r) data[r * n + c] = col[r];
+  }
+}
+
+void fft3d(std::span<std::complex<double>> data, std::size_t n, int sign) {
+  PLINGER_REQUIRE(data.size() == n * n * n, "fft3d: data must be n^3");
+  PLINGER_REQUIRE(is_pow2(n), "fft3d size must be a power of two");
+  // z lines are contiguous.
+  for (std::size_t i = 0; i < n * n; ++i) {
+    fft(data.subspan(i * n, n), sign);
+  }
+  // y and x lines via strided gather.
+  std::vector<std::complex<double>> line(n);
+  for (std::size_t ix = 0; ix < n; ++ix) {
+    for (std::size_t iz = 0; iz < n; ++iz) {
+      for (std::size_t iy = 0; iy < n; ++iy) {
+        line[iy] = data[(ix * n + iy) * n + iz];
+      }
+      fft(line, sign);
+      for (std::size_t iy = 0; iy < n; ++iy) {
+        data[(ix * n + iy) * n + iz] = line[iy];
+      }
+    }
+  }
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t iz = 0; iz < n; ++iz) {
+      for (std::size_t ix = 0; ix < n; ++ix) {
+        line[ix] = data[(ix * n + iy) * n + iz];
+      }
+      fft(line, sign);
+      for (std::size_t ix = 0; ix < n; ++ix) {
+        data[(ix * n + iy) * n + iz] = line[ix];
+      }
+    }
+  }
+}
+
+}  // namespace plinger::math

@@ -1,0 +1,29 @@
+#pragma once
+
+/// Minimal radix-2 complex FFT, sufficient for the Gaussian-random-field
+/// synthesis used by the potential-evolution movie (the paper's MPEG
+/// figure) and the sky-map example.  Sizes must be powers of two.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace plinger::math {
+
+/// In-place iterative Cooley-Tukey FFT.  sign = -1 gives the forward
+/// transform sum x_n e^{-2 pi i n k / N}; sign = +1 the unnormalized
+/// inverse (divide by N to invert).
+void fft(std::span<std::complex<double>> data, int sign);
+
+/// In-place 2-D FFT of an n x n row-major grid (n power of two).
+void fft2d(std::span<std::complex<double>> data, std::size_t n, int sign);
+
+/// In-place 3-D FFT of an n x n x n row-major grid (n power of two),
+/// index (ix, iy, iz) -> (ix * n + iy) * n + iz.
+void fft3d(std::span<std::complex<double>> data, std::size_t n, int sign);
+
+/// True if n is a power of two (and > 0).
+bool is_pow2(std::size_t n);
+
+}  // namespace plinger::math

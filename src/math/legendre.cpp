@@ -1,0 +1,78 @@
+#include "math/legendre.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace plinger::math {
+
+void legendre_p_array(double x, std::span<double> out) {
+  if (out.empty()) return;
+  out[0] = 1.0;
+  if (out.size() == 1) return;
+  out[1] = x;
+  for (std::size_t l = 2; l < out.size(); ++l) {
+    const double dl = static_cast<double>(l);
+    out[l] = ((2.0 * dl - 1.0) * x * out[l - 1] - (dl - 1.0) * out[l - 2]) / dl;
+  }
+}
+
+double legendre_p(std::size_t l, double x) {
+  double p0 = 1.0;
+  if (l == 0) return p0;
+  double p1 = x;
+  for (std::size_t j = 2; j <= l; ++j) {
+    const double dj = static_cast<double>(j);
+    const double p2 = ((2.0 * dj - 1.0) * x * p1 - (dj - 1.0) * p0) / dj;
+    p0 = p1;
+    p1 = p2;
+  }
+  return p1;
+}
+
+AssociatedLegendre::AssociatedLegendre(std::size_t lmax) : lmax_(lmax) {}
+
+void AssociatedLegendre::lambda_lm(std::size_t m, double x,
+                                   std::span<double> out) const {
+  PLINGER_REQUIRE(m <= lmax_, "AssociatedLegendre: m exceeds lmax");
+  PLINGER_REQUIRE(out.size() >= lmax_ - m + 1,
+                  "AssociatedLegendre: output span too small");
+  const double sin2 = std::max(0.0, 1.0 - x * x);
+
+  // Seed: lambda_mm = (-1)^m sqrt((2m+1)/(4 pi)) sqrt((2m-1)!!/(2m)!!) sin^m.
+  // Built in log space against underflow for large m near the poles.
+  double lam_mm;
+  if (m == 0) {
+    lam_mm = 1.0 / std::sqrt(4.0 * std::numbers::pi);
+  } else {
+    double log_dfact_ratio = 0.0;  // log((2m-1)!! / (2m)!!)
+    for (std::size_t j = 1; j <= m; ++j) {
+      log_dfact_ratio += std::log((2.0 * static_cast<double>(j) - 1.0) /
+                                  (2.0 * static_cast<double>(j)));
+    }
+    const double log_sin_m =
+        0.5 * static_cast<double>(m) * std::log(std::max(sin2, 1e-300));
+    const double log_lam =
+        0.5 * std::log((2.0 * static_cast<double>(m) + 1.0) /
+                       (4.0 * std::numbers::pi)) +
+        0.5 * log_dfact_ratio + log_sin_m;
+    lam_mm = ((m % 2 == 0) ? 1.0 : -1.0) * std::exp(log_lam);
+  }
+
+  out[0] = lam_mm;
+  if (m == lmax_) return;
+  // lambda_{m+1,m} = x sqrt(2m+3) lambda_mm.
+  out[1] = x * std::sqrt(2.0 * static_cast<double>(m) + 3.0) * lam_mm;
+  const double dm = static_cast<double>(m);
+  for (std::size_t l = m + 2; l <= lmax_; ++l) {
+    const double dl = static_cast<double>(l);
+    const double num = (2.0 * dl + 1.0) / ((dl - dm) * (dl + dm));
+    const double a = std::sqrt(num * (2.0 * dl - 1.0));
+    const double b = -std::sqrt(num * ((dl - 1.0 - dm) * (dl - 1.0 + dm)) /
+                                (2.0 * dl - 3.0));
+    out[l - m] = a * x * out[l - m - 1] + b * out[l - m - 2];
+  }
+}
+
+}  // namespace plinger::math

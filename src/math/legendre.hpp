@@ -1,0 +1,45 @@
+#pragma once
+
+/// Legendre polynomials and spherical-harmonic-normalized associated
+/// Legendre functions.
+///
+/// P_l(x) underlies the angular moment expansion of the photon and
+/// neutrino distribution functions (the Boltzmann hierarchy); the
+/// normalized P_lm underlie the sky-map synthesis (Figure 3).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace plinger::math {
+
+/// Fill out[l] = P_l(x) for l = 0..out.size()-1 by the three-term
+/// recurrence (stable for |x| <= 1).
+void legendre_p_array(double x, std::span<double> out);
+
+/// P_l(x) for a single l.
+double legendre_p(std::size_t l, double x);
+
+/// Spherical-harmonic normalized associated Legendre function
+///   lambda_lm(x) = sqrt((2l+1)/(4 pi) (l-m)!/(l+m)!) P_lm(x),
+/// so that Y_lm(theta, phi) = lambda_lm(cos theta) e^{i m phi}.
+///
+/// Computed by the standard m-diagonal seed plus upward-in-l recurrence,
+/// which is numerically stable; the seed includes the normalization so no
+/// factorial overflow occurs even for l ~ several thousand.
+class AssociatedLegendre {
+ public:
+  /// Functions are generated for l <= lmax.
+  explicit AssociatedLegendre(std::size_t lmax);
+
+  /// Fill out[l - m] = lambda_lm(x) for l = m..lmax.
+  /// out.size() must be >= lmax - m + 1.
+  void lambda_lm(std::size_t m, double x, std::span<double> out) const;
+
+  std::size_t lmax() const { return lmax_; }
+
+ private:
+  std::size_t lmax_;
+};
+
+}  // namespace plinger::math

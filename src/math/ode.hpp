@@ -1,0 +1,246 @@
+#pragma once
+
+/// Adaptive embedded Runge-Kutta integrators.
+///
+/// The paper integrates the Einstein-Boltzmann system with DVERK, Hull,
+/// Enright & Jackson's implementation of Verner's 8-stage 6(5) pair
+/// (obtained from netlib).  We reproduce that pair exactly
+/// (VernerDverkTableau) and also provide the Cash-Karp 4(5) pair as a
+/// comparison baseline for the integrator ablation bench.
+///
+/// The driver is a standard step-doubling-free embedded-pair controller:
+/// each step computes a high-order solution and an embedded lower-order
+/// error estimate; steps are accepted when the weighted RMS error is <= 1
+/// and the step size is rescaled by err^(-1/order) with a safety factor.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace plinger::math {
+
+/// Controls for adaptive ODE integration.
+struct OdeOptions {
+  double rtol = 1e-6;      ///< relative tolerance per component
+  double atol = 1e-12;     ///< absolute tolerance per component
+  double h_init = 0.0;     ///< initial step; 0 selects (t1-t0)/100
+  double h_min = 0.0;      ///< minimum |step|; 0 selects ~16*eps*|t|
+  double h_max = 0.0;      ///< maximum |step|; 0 means unlimited
+  long max_steps = 2'000'000;  ///< hard cap on accepted+rejected steps
+};
+
+/// Counters accumulated over one integrate() call.
+struct OdeStats {
+  long n_accepted = 0;  ///< accepted steps
+  long n_rejected = 0;  ///< rejected (error too large) steps
+  long n_rhs = 0;       ///< right-hand-side evaluations
+};
+
+/// Verner's 6(5) pair as used in DVERK (Hull, Enright & Jackson 1976).
+/// 8 stages; the 6th-order weights propagate the solution, the embedded
+/// 5th-order weights provide the error estimate.
+struct VernerDverkTableau {
+  static constexpr int stages = 8;
+  static constexpr int order = 6;  ///< order of the propagated solution
+  static constexpr double c[stages] = {0.0,       1.0 / 6.0, 4.0 / 15.0,
+                                       2.0 / 3.0, 5.0 / 6.0, 1.0,
+                                       1.0 / 15.0, 1.0};
+  static constexpr double a[stages][stages] = {
+      {},
+      {1.0 / 6.0},
+      {4.0 / 75.0, 16.0 / 75.0},
+      {5.0 / 6.0, -8.0 / 3.0, 5.0 / 2.0},
+      {-165.0 / 64.0, 55.0 / 6.0, -425.0 / 64.0, 85.0 / 96.0},
+      {12.0 / 5.0, -8.0, 4015.0 / 612.0, -11.0 / 36.0, 88.0 / 255.0},
+      {-8263.0 / 15000.0, 124.0 / 75.0, -643.0 / 680.0, -81.0 / 250.0,
+       2484.0 / 10625.0, 0.0},
+      {3501.0 / 1720.0, -300.0 / 43.0, 297275.0 / 52632.0, -319.0 / 2322.0,
+       24068.0 / 84065.0, 0.0, 3850.0 / 26703.0},
+  };
+  /// 6th-order solution weights.
+  static constexpr double b[stages] = {3.0 / 40.0,    0.0,
+                                       875.0 / 2244.0, 23.0 / 72.0,
+                                       264.0 / 1955.0, 0.0,
+                                       125.0 / 11592.0, 43.0 / 616.0};
+  /// Embedded 5th-order weights.
+  static constexpr double bhat[stages] = {13.0 / 160.0,   0.0,
+                                          2375.0 / 5984.0, 5.0 / 16.0,
+                                          12.0 / 85.0,     3.0 / 44.0,
+                                          0.0,             0.0};
+};
+
+/// Cash-Karp 4(5) pair (Cash & Karp 1990): the classic RKF-style baseline
+/// used in the integrator ablation bench.
+struct CashKarpTableau {
+  static constexpr int stages = 6;
+  static constexpr int order = 5;
+  static constexpr double c[stages] = {0.0,       1.0 / 5.0, 3.0 / 10.0,
+                                       3.0 / 5.0, 1.0,       7.0 / 8.0};
+  static constexpr double a[stages][stages] = {
+      {},
+      {1.0 / 5.0},
+      {3.0 / 40.0, 9.0 / 40.0},
+      {3.0 / 10.0, -9.0 / 10.0, 6.0 / 5.0},
+      {-11.0 / 54.0, 5.0 / 2.0, -70.0 / 27.0, 35.0 / 27.0},
+      {1631.0 / 55296.0, 175.0 / 512.0, 575.0 / 13824.0, 44275.0 / 110592.0,
+       253.0 / 4096.0},
+  };
+  /// 5th-order solution weights.
+  static constexpr double b[stages] = {37.0 / 378.0,  0.0, 250.0 / 621.0,
+                                       125.0 / 594.0, 0.0, 512.0 / 1771.0};
+  /// Embedded 4th-order weights.
+  static constexpr double bhat[stages] = {
+      2825.0 / 27648.0, 0.0,           18575.0 / 48384.0,
+      13525.0 / 55296.0, 277.0 / 14336.0, 1.0 / 4.0};
+};
+
+/// Generic embedded Runge-Kutta driver parameterized on a Butcher tableau.
+///
+/// The right-hand side is any callable f(t, y, dydt) taking
+/// (double, std::span<const double>, std::span<double>).  Workspace is
+/// reused across calls, so one integrator instance per mode avoids
+/// per-step allocation.
+template <class Tableau>
+class EmbeddedRk {
+ public:
+  EmbeddedRk() = default;
+
+  /// Integrate y from t0 to t1 in place.  Throws NumericalFailure if the
+  /// step size underflows or max_steps is exhausted.  The optional observer
+  /// is called as observer(t, y) after every accepted step (and once at t0).
+  template <class F, class Observer>
+  OdeStats integrate(F&& f, double t0, double t1, std::vector<double>& y,
+                     const OdeOptions& opts, Observer&& observer) {
+    PLINGER_REQUIRE(t1 != t0, "integration interval is empty");
+    PLINGER_REQUIRE(opts.rtol > 0.0 && opts.atol >= 0.0,
+                    "tolerances must be positive");
+    const std::size_t n = y.size();
+    resize_workspace(n);
+    rtol_ = opts.rtol;
+    atol_ = opts.atol;
+
+    const double dir = (t1 > t0) ? 1.0 : -1.0;
+    double t = t0;
+    double h = opts.h_init != 0.0 ? std::abs(opts.h_init)
+                                  : std::abs(t1 - t0) / 100.0;
+    if (opts.h_max > 0.0) h = std::min(h, opts.h_max);
+
+    OdeStats stats;
+    observer(t, std::span<const double>(y));
+
+    while (dir * (t1 - t) > 0.0) {
+      const double h_floor =
+          opts.h_min > 0.0
+              ? opts.h_min
+              : 16.0 * std::numeric_limits<double>::epsilon() *
+                    std::max(std::abs(t), std::abs(t1));
+      h = std::min(h, std::abs(t1 - t));
+      if (h < h_floor) {
+        throw NumericalFailure("ODE step size underflow at t=" +
+                               std::to_string(t));
+      }
+      if (stats.n_accepted + stats.n_rejected >= opts.max_steps) {
+        throw NumericalFailure("ODE max_steps exceeded at t=" +
+                               std::to_string(t));
+      }
+
+      const double err = attempt_step(f, t, dir * h, y, stats);
+      if (err <= 1.0) {
+        t += dir * h;
+        y.swap(y_new_);
+        observer(t, std::span<const double>(y));
+        ++stats.n_accepted;
+        h *= step_growth(err);
+      } else {
+        ++stats.n_rejected;
+        h *= step_shrink(err);
+      }
+      if (opts.h_max > 0.0) h = std::min(h, opts.h_max);
+    }
+    return stats;
+  }
+
+  /// Overload without an observer.
+  template <class F>
+  OdeStats integrate(F&& f, double t0, double t1, std::vector<double>& y,
+                     const OdeOptions& opts) {
+    return integrate(std::forward<F>(f), t0, t1, y, opts,
+                     [](double, std::span<const double>) {});
+  }
+
+ private:
+  void resize_workspace(std::size_t n) {
+    if (y_new_.size() != n) {
+      y_new_.assign(n, 0.0);
+      y_tmp_.assign(n, 0.0);
+      for (auto& k : k_) k.assign(n, 0.0);
+    }
+  }
+
+  /// One trial step of size h (signed).  Fills y_new_ with the high-order
+  /// solution and returns the weighted RMS error of the embedded estimate.
+  template <class F>
+  double attempt_step(F&& f, double t, double h, const std::vector<double>& y,
+                      OdeStats& stats) {
+    constexpr int s = Tableau::stages;
+    const std::size_t n = y.size();
+
+    f(t, std::span<const double>(y), std::span<double>(k_[0]));
+    for (int i = 1; i < s; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int m = 0; m < i; ++m) acc += Tableau::a[i][m] * k_[m][j];
+        y_tmp_[j] = y[j] + h * acc;
+      }
+      f(t + Tableau::c[i] * h, std::span<const double>(y_tmp_),
+        std::span<double>(k_[i]));
+    }
+    stats.n_rhs += s;
+
+    // High-order solution and embedded error, fused in one pass.
+    double err_sq = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum_b = 0.0, sum_d = 0.0;
+      for (int m = 0; m < s; ++m) {
+        sum_b += Tableau::b[m] * k_[m][j];
+        sum_d += (Tableau::b[m] - Tableau::bhat[m]) * k_[m][j];
+      }
+      y_new_[j] = y[j] + h * sum_b;
+      const double scale =
+          atol_ + rtol_ * std::max(std::abs(y[j]), std::abs(y_new_[j]));
+      const double e = h * sum_d / scale;
+      err_sq += e * e;
+    }
+    return std::sqrt(err_sq / static_cast<double>(n));
+  }
+
+  static double step_growth(double err) {
+    constexpr double safety = 0.9, max_growth = 5.0;
+    if (err <= 0.0) return max_growth;
+    return std::min(max_growth,
+                    safety * std::pow(err, -1.0 / Tableau::order));
+  }
+  static double step_shrink(double err) {
+    constexpr double safety = 0.9, min_shrink = 0.1;
+    return std::max(min_shrink,
+                    safety * std::pow(err, -1.0 / Tableau::order));
+  }
+
+  double rtol_ = 1e-6;   ///< copied from OdeOptions at integrate() entry
+  double atol_ = 1e-12;  ///< copied from OdeOptions at integrate() entry
+  std::vector<double> y_new_, y_tmp_;
+  std::vector<double> k_[Tableau::stages];
+};
+
+/// The paper's integrator: Verner 6(5) as in netlib DVERK.
+using Dverk = EmbeddedRk<VernerDverkTableau>;
+/// Comparison baseline for bench_integrator.
+using CashKarp = EmbeddedRk<CashKarpTableau>;
+
+}  // namespace plinger::math

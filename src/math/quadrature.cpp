@@ -1,0 +1,135 @@
+#include "math/quadrature.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace plinger::math {
+
+QuadratureRule gauss_legendre(std::size_t n) {
+  PLINGER_REQUIRE(n >= 1, "gauss_legendre needs n >= 1");
+  QuadratureRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  const std::size_t m = (n + 1) / 2;
+  for (std::size_t i = 0; i < m; ++i) {
+    // Tricomi initial estimate for the i-th root of P_n.
+    double x = std::cos(std::numbers::pi *
+                        (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double dp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P_n'(x) by the three-term recurrence.
+      double p0 = 1.0, p1 = x;
+      for (std::size_t l = 2; l <= n; ++l) {
+        const double dl = static_cast<double>(l);
+        const double p2 = ((2.0 * dl - 1.0) * x * p1 - (dl - 1.0) * p0) / dl;
+        p0 = p1;
+        p1 = p2;
+      }
+      dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    rule.nodes[i] = -x;
+    rule.nodes[n - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+    rule.weights[i] = w;
+    rule.weights[n - 1 - i] = w;
+  }
+  if (n % 2 == 1) rule.nodes[n / 2] = 0.0;
+  return rule;
+}
+
+QuadratureRule gauss_legendre(std::size_t n, double a, double b) {
+  QuadratureRule rule = gauss_legendre(n);
+  const double mid = 0.5 * (a + b), half = 0.5 * (b - a);
+  for (std::size_t i = 0; i < n; ++i) {
+    rule.nodes[i] = mid + half * rule.nodes[i];
+    rule.weights[i] *= half;
+  }
+  return rule;
+}
+
+QuadratureRule gauss_laguerre(std::size_t n) {
+  PLINGER_REQUIRE(n >= 1, "gauss_laguerre needs n >= 1");
+  QuadratureRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Stroud & Secrest initial estimates for Laguerre roots.
+    if (i == 0) {
+      x = 3.0 / (1.0 + 2.4 * static_cast<double>(n));
+    } else if (i == 1) {
+      x += 15.0 / (1.0 + 2.5 * static_cast<double>(n));
+    } else {
+      const double ai = static_cast<double>(i - 1);
+      x += (1.0 + 2.55 * ai) / (1.9 * ai) * (x - rule.nodes[i - 2]);
+    }
+    double dp = 0.0, p1 = 0.0;
+    for (int iter = 0; iter < 200; ++iter) {
+      // Laguerre recurrence: (l+1) L_{l+1} = (2l+1-x) L_l - l L_{l-1}.
+      double p0 = 1.0;
+      p1 = 1.0 - x;
+      for (std::size_t l = 2; l <= n; ++l) {
+        const double dl = static_cast<double>(l);
+        const double p2 =
+            ((2.0 * dl - 1.0 - x) * p1 - (dl - 1.0) * p0) / dl;
+        p0 = p1;
+        p1 = p2;
+      }
+      dp = static_cast<double>(n) * (p1 - p0) / x;
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-14 * std::max(1.0, x)) break;
+    }
+    rule.nodes[i] = x;
+    // w_i = x_i / ((n+1)^2 [L_{n+1}(x_i)]^2); use dp relation instead:
+    // w_i = 1 / (x_i * dp^2) * ... standard form below.
+    rule.weights[i] = 1.0 / (x * dp * dp);
+  }
+  return rule;
+}
+
+double romberg(const std::function<double(double)>& f, double a, double b,
+               double rtol, int max_levels) {
+  PLINGER_REQUIRE(max_levels >= 2 && max_levels <= 30,
+                  "romberg max_levels out of range");
+  std::vector<double> row(static_cast<std::size_t>(max_levels), 0.0);
+  double h = b - a;
+  row[0] = 0.5 * h * (f(a) + f(b));
+  std::size_t n_pts = 1;
+  for (int level = 1; level < max_levels; ++level) {
+    // Refine trapezoid.
+    h *= 0.5;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n_pts; ++i) {
+      sum += f(a + h * (2.0 * static_cast<double>(i) + 1.0));
+    }
+    double prev_diag = row[0];
+    row[0] = 0.5 * prev_diag + h * sum;
+    n_pts *= 2;
+    // Richardson extrapolation along the row.
+    double factor = 4.0;
+    for (int j = 1; j <= level; ++j) {
+      const double tmp = row[static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(j)] =
+          (factor * row[static_cast<std::size_t>(j - 1)] - prev_diag) /
+          (factor - 1.0);
+      prev_diag = tmp;
+      factor *= 4.0;
+    }
+    const double best = row[static_cast<std::size_t>(level)];
+    const double prev = row[static_cast<std::size_t>(level - 1)];
+    if (level >= 4 &&
+        std::abs(best - prev) <= rtol * std::max(1e-300, std::abs(best))) {
+      return best;
+    }
+  }
+  throw NumericalFailure("romberg failed to converge");
+}
+
+}  // namespace plinger::math

@@ -1,0 +1,65 @@
+#pragma once
+
+/// Quadrature rules used by the physics layers:
+///  * Gauss-Legendre  — generic smooth integrals (C_l band-power windows).
+///  * Gauss-Laguerre  — the massive-neutrino momentum integrals
+///                      \int_0^inf q^2 dq eps f0(q) ..., whose Fermi-Dirac
+///                      weight decays like e^{-q}.
+///  * Romberg         — adaptive integration to a tolerance for one-off
+///                      integrals (sound horizon, sigma_R).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace plinger::math {
+
+/// Nodes and weights of an n-point quadrature rule.
+struct QuadratureRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// n-point Gauss-Legendre rule on [-1, 1].  Nodes are the roots of P_n
+/// found by Newton iteration from the Tricomi estimate; exactness holds for
+/// polynomials of degree <= 2n-1.
+QuadratureRule gauss_legendre(std::size_t n);
+
+/// Gauss-Legendre rule mapped to [a, b].
+QuadratureRule gauss_legendre(std::size_t n, double a, double b);
+
+/// n-point Gauss-Laguerre rule for \int_0^inf e^{-x} f(x) dx.  The returned
+/// weights already include the e^{-x} factor removed, i.e.
+/// sum_i w_i f(x_i) ~= \int_0^inf e^{-x} f(x) dx.
+QuadratureRule gauss_laguerre(std::size_t n);
+
+/// Apply a rule to a callable.
+template <class F>
+double apply(const QuadratureRule& rule, F&& f) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+    acc += rule.weights[i] * f(rule.nodes[i]);
+  }
+  return acc;
+}
+
+/// Romberg integration of f over [a, b] to relative tolerance rtol.
+/// Throws NumericalFailure if the extrapolation table fails to converge
+/// within max_levels refinements.
+double romberg(const std::function<double(double)>& f, double a, double b,
+               double rtol = 1e-10, int max_levels = 22);
+
+/// Composite Simpson rule with n (even) intervals — used where the
+/// integrand is sampled on a fixed grid anyway.
+template <class F>
+double simpson(F&& f, double a, double b, std::size_t n) {
+  if (n % 2 == 1) ++n;
+  const double h = (b - a) / static_cast<double>(n);
+  double acc = f(a) + f(b);
+  for (std::size_t i = 1; i < n; ++i) {
+    acc += f(a + h * static_cast<double>(i)) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+}  // namespace plinger::math

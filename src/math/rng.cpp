@@ -1,0 +1,64 @@
+#include "math/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace plinger::math {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::gaussian() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller; reject u1 == 0 to keep log finite.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double phi = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(phi);
+  have_cached_ = true;
+  return r * std::cos(phi);
+}
+
+void Xoshiro256::discard(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) next_u64();
+}
+
+}  // namespace plinger::math

@@ -1,0 +1,37 @@
+#pragma once
+
+/// Deterministic random number generation for sky-map and random-field
+/// realizations.  We implement xoshiro256++ with splitmix64 seeding and a
+/// Box-Muller Gaussian so that realizations are bit-identical across
+/// platforms and standard-library versions (std::normal_distribution is
+/// implementation-defined).
+
+#include <cstdint>
+
+namespace plinger::math {
+
+/// xoshiro256++ (Blackman & Vigna 2019); period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  /// Seed via splitmix64 expansion of a single 64-bit seed.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Standard normal deviate (Box-Muller, with one cached value).
+  double gaussian();
+
+  /// Long-jump equivalent: discard n draws (used to decorrelate streams).
+  void discard(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace plinger::math

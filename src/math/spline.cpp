@@ -1,0 +1,113 @@
+#include "math/spline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace plinger::math {
+
+CubicSpline::CubicSpline(std::span<const double> x, std::span<const double> y)
+    : x_(x.begin(), x.end()), y_(y.begin(), y.end()) {
+  PLINGER_REQUIRE(x.size() == y.size(), "spline x/y size mismatch");
+  PLINGER_REQUIRE(x.size() >= 2, "spline needs at least 2 points");
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    PLINGER_REQUIRE(x_[i] > x_[i - 1], "spline x must be strictly increasing");
+  }
+
+  const std::size_t n = x_.size();
+  y2_.assign(n, 0.0);
+  std::vector<double> u(n, 0.0);
+  // Tridiagonal sweep for natural boundary conditions (y2 = 0 at both ends).
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double sig = (x_[i] - x_[i - 1]) / (x_[i + 1] - x_[i - 1]);
+    const double p = sig * y2_[i - 1] + 2.0;
+    y2_[i] = (sig - 1.0) / p;
+    const double dy1 = (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+    const double dy0 = (y_[i] - y_[i - 1]) / (x_[i] - x_[i - 1]);
+    u[i] = (6.0 * (dy1 - dy0) / (x_[i + 1] - x_[i - 1]) - sig * u[i - 1]) / p;
+  }
+  for (std::size_t i = n - 1; i-- > 1;) {
+    y2_[i] = y2_[i] * y2_[i + 1] + u[i];
+  }
+
+  // Precompute cumulative integrals for integral_from_start().
+  cumint_.assign(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double h = x_[i + 1] - x_[i];
+    cumint_[i + 1] = cumint_[i] + 0.5 * h * (y_[i] + y_[i + 1]) -
+                     h * h * h / 24.0 * (y2_[i] + y2_[i + 1]);
+  }
+}
+
+std::size_t CubicSpline::interval(double t) const {
+  // Binary search for i with x_[i] <= t < x_[i+1]; clamp to end intervals
+  // so out-of-range t extrapolates from the boundary cubic.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), t);
+  std::size_t i = static_cast<std::size_t>(it - x_.begin());
+  if (i == 0) return 0;
+  if (i >= x_.size()) return x_.size() - 2;
+  return i - 1;
+}
+
+double CubicSpline::operator()(double t) const {
+  const std::size_t i = interval(t);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - t) / h;
+  const double b = (t - x_[i]) / h;
+  return a * y_[i] + b * y_[i + 1] +
+         ((a * a * a - a) * y2_[i] + (b * b * b - b) * y2_[i + 1]) *
+             (h * h) / 6.0;
+}
+
+double CubicSpline::derivative(double t) const {
+  const std::size_t i = interval(t);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - t) / h;
+  const double b = (t - x_[i]) / h;
+  return (y_[i + 1] - y_[i]) / h +
+         ((3.0 * b * b - 1.0) * y2_[i + 1] - (3.0 * a * a - 1.0) * y2_[i]) *
+             h / 6.0;
+}
+
+double CubicSpline::second_derivative(double t) const {
+  const std::size_t i = interval(t);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - t) / h;
+  const double b = (t - x_[i]) / h;
+  return a * y2_[i] + b * y2_[i + 1];
+}
+
+double CubicSpline::integral_from_start(double t) const {
+  const std::size_t i = interval(t);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - t) / h;
+  const double b = (t - x_[i]) / h;
+  // Integral of the local cubic from x_[i] to t.
+  const double part =
+      h * (0.5 * (1.0 - a * a) * y_[i] + 0.5 * b * b * y_[i + 1] +
+           h * h / 24.0 *
+               ((-(a * a * a * a) + 2.0 * a * a - 1.0) * y2_[i] +
+                (b * b * b * b - 2.0 * b * b) * y2_[i + 1]));
+  return cumint_[i] + part;
+}
+
+std::vector<double> linspace(double a, double b, std::size_t n) {
+  PLINGER_REQUIRE(n >= 2, "linspace needs n >= 2");
+  std::vector<double> v(n);
+  const double step = (b - a) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) v[i] = a + step * static_cast<double>(i);
+  v.back() = b;
+  return v;
+}
+
+std::vector<double> logspace(double a, double b, std::size_t n) {
+  PLINGER_REQUIRE(a > 0.0 && b > 0.0, "logspace endpoints must be positive");
+  auto v = linspace(std::log(a), std::log(b), n);
+  for (auto& t : v) t = std::exp(t);
+  v.front() = a;
+  v.back() = b;
+  return v;
+}
+
+}  // namespace plinger::math

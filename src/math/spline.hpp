@@ -1,0 +1,66 @@
+#pragma once
+
+/// Natural cubic spline interpolation on an arbitrary strictly-increasing
+/// abscissa grid.  Used throughout the code for background tables (a(tau),
+/// tau(a)), thermodynamic tables (opacity, visibility), and transfer-
+/// function resampling — the same role the SPLINE/SPLINT pair plays in the
+/// original LINGER sources.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace plinger::math {
+
+/// Natural cubic spline through (x_i, y_i) with zero second derivative at
+/// both ends.  Construction is O(n) (tridiagonal solve); evaluation is
+/// O(log n) via binary search with a cached hot interval.
+class CubicSpline {
+ public:
+  CubicSpline() = default;
+
+  /// Build from matching x/y arrays.  x must be strictly increasing with at
+  /// least 2 points.  Throws InvalidArgument otherwise.
+  CubicSpline(std::span<const double> x, std::span<const double> y);
+
+  /// Interpolated value at t.  t outside [x_front, x_back] is linearly
+  /// extrapolated from the boundary cubic.
+  double operator()(double t) const;
+
+  /// First derivative of the interpolant at t.
+  double derivative(double t) const;
+
+  /// Second derivative of the interpolant at t.
+  double second_derivative(double t) const;
+
+  /// Integral of the interpolant from x_front to t (exact for the cubic).
+  double integral_from_start(double t) const;
+
+  /// Number of knots.
+  std::size_t size() const { return x_.size(); }
+  bool empty() const { return x_.empty(); }
+  double x_front() const { return x_.front(); }
+  double x_back() const { return x_.back(); }
+
+ private:
+  std::size_t interval(double t) const;
+
+  std::vector<double> x_, y_, y2_;  ///< knots and second derivatives
+  std::vector<double> cumint_;      ///< integral from x_0 to each knot
+};
+
+/// Convenience: sample f at the given x points and spline the result.
+template <class F>
+CubicSpline spline_function(F&& f, std::span<const double> x) {
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = f(x[i]);
+  return CubicSpline(x, y);
+}
+
+/// n points linearly spaced over [a, b] inclusive.
+std::vector<double> linspace(double a, double b, std::size_t n);
+
+/// n points logarithmically spaced over [a, b] inclusive (a, b > 0).
+std::vector<double> logspace(double a, double b, std::size_t n);
+
+}  // namespace plinger::math

@@ -1,0 +1,83 @@
+#pragma once
+
+/// In-process message-passing world: the transport substitution for
+/// PVM/MPI/MPL/PVMe (see DESIGN.md).  Each rank owns a mailbox; send
+/// copies the payload into the target mailbox; probe/recv block on a
+/// condition variable.  Semantics are modeled on the libraries the paper
+/// used:
+///
+///  * per-(source, destination) ordering is always preserved (as in MPI),
+///  * Library::mplsim additionally *enforces* the SP2 MPL restriction the
+///    paper notes — "MPL requires that messages be received in the order
+///    in which they arrive" — per source: receiving a message that is not
+///    the oldest pending one from its source throws ProtocolError.  The
+///    paper observes this "does not create difficulties" for the
+///    master/worker algorithm; our protocol tests prove it.
+///  * Library::pvmsim allows fully tag-selective out-of-order retrieval
+///    (PVM semantics).
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "common/error.hpp"
+#include "mp/message.hpp"
+#include "mp/stats.hpp"
+
+namespace plinger::mp {
+
+/// Which library personality the world emulates.
+enum class Library { pvmsim, mpisim, mplsim };
+
+/// Thrown when a receive violates the emulated library's rules.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// A set of nprocs ranks with mailboxes.  All methods are thread-safe;
+/// typically rank 0 is driven by the master thread and ranks 1..n-1 by
+/// worker threads.
+class InProcWorld {
+ public:
+  explicit InProcWorld(int nprocs, Library lib = Library::mpisim);
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+  Library library() const { return lib_; }
+
+  /// Copy data into `to`'s mailbox with the given tag.
+  void send(int from, int to, int tag, std::span<const double> data);
+
+  /// Block until a message matching (source, tag) — either may be a
+  /// wildcard — is available for `rank`; report it without consuming.
+  ProbeResult probe(int rank, int source = kAnySource,
+                    int tag = kAnyTag) const;
+
+  /// Block until a matching message is available, then copy at most
+  /// out.size() doubles into out and consume it.  Returns the payload
+  /// length (the full length even if truncated, as MPI does).
+  std::size_t recv(int rank, int source, int tag, std::span<double> out);
+
+  /// Transport counters accumulated so far.
+  TransportStats stats() const;
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  const Message* find_match(const Mailbox& box, int source, int tag) const;
+  void check_rank(int rank) const;
+
+  Library lib_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+}  // namespace plinger::mp

@@ -1,0 +1,38 @@
+#pragma once
+
+/// Message primitives of the PLINGER transport layer.
+///
+/// PLINGER needs "only a few basic message passing routines ...
+/// broadcasting to all other nodes, sending, receiving, and checking for
+/// an incoming message (either from a particular process or from any
+/// process), as well as the ability to tag messages" (paper §4).  These
+/// types express exactly that contract.
+
+#include <cstddef>
+#include <vector>
+
+namespace plinger::mp {
+
+/// Wildcard for probe/recv source selection (MPI_ANY_SOURCE analogue).
+inline constexpr int kAnySource = -1;
+/// Wildcard for probe/recv tag selection (MPI_ANY_TAG analogue).
+inline constexpr int kAnyTag = -1;
+
+/// A tagged message of double-precision values, as in the paper's
+/// my*real wrapper routines (all PLINGER traffic is doubles).
+struct Message {
+  int tag = 0;
+  int source = 0;
+  std::vector<double> payload;
+
+  std::size_t size_bytes() const { return payload.size() * sizeof(double); }
+};
+
+/// What a blocking probe reports (MPI_PROBE status analogue).
+struct ProbeResult {
+  int tag = 0;
+  int source = 0;
+  std::size_t length = 0;  ///< payload length in doubles
+};
+
+}  // namespace plinger::mp

@@ -1,0 +1,22 @@
+#pragma once
+
+/// Transport accounting.  The paper's §4 argues message overhead is
+/// negligible by comparing per-k CPU time (minutes) against message sizes
+/// (~150 bytes to ~80 kB); these counters regenerate that comparison.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace plinger::mp {
+
+/// Snapshot of transport counters (bench_messages consumes this).
+struct TransportStats {
+  std::uint64_t n_messages = 0;
+  std::uint64_t n_bytes = 0;
+  std::uint64_t max_message_bytes = 0;
+  /// Message counts per tag 1..6 (index 0 collects everything else).
+  std::array<std::uint64_t, 7> per_tag{};
+};
+
+}  // namespace plinger::mp

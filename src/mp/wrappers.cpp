@@ -1,0 +1,63 @@
+#include "mp/wrappers.hpp"
+
+namespace plinger::mp {
+
+PassContext initpass(InProcWorld& world, int mytid) {
+  PLINGER_REQUIRE(mytid >= 0 && mytid < world.size(),
+                  "initpass: rank out of range");
+  PassContext ctx;
+  ctx.world = &world;
+  ctx.mytid = mytid;
+  ctx.mastid = 0;
+  return ctx;
+}
+
+void endpass(PassContext& ctx) { ctx.world = nullptr; }
+
+namespace {
+void require_bound(const PassContext& ctx) {
+  PLINGER_REQUIRE(ctx.world != nullptr,
+                  "wrapper called outside initpass/endpass");
+}
+}  // namespace
+
+void mybcastreal(PassContext& ctx, std::span<const double> buffer,
+                 int msgtype) {
+  require_bound(ctx);
+  for (int rank = 0; rank < ctx.world->size(); ++rank) {
+    if (rank == ctx.mytid) continue;
+    ctx.world->send(ctx.mytid, rank, msgtype, buffer);
+  }
+}
+
+void mysendreal(PassContext& ctx, std::span<const double> buffer,
+                int msgtype, int target) {
+  require_bound(ctx);
+  ctx.world->send(ctx.mytid, target, msgtype, buffer);
+}
+
+void mycheckany(PassContext& ctx, int& msgtype, int& target) {
+  require_bound(ctx);
+  const ProbeResult pr = ctx.world->probe(ctx.mytid, kAnySource, kAnyTag);
+  msgtype = pr.tag;
+  target = pr.source;
+}
+
+void mycheckone(PassContext& ctx, int msgtype, int target) {
+  require_bound(ctx);
+  (void)ctx.world->probe(ctx.mytid, target, msgtype);
+}
+
+void mychecktid(PassContext& ctx, int& msgtype, int target) {
+  require_bound(ctx);
+  const ProbeResult pr = ctx.world->probe(ctx.mytid, target, kAnyTag);
+  msgtype = pr.tag;
+}
+
+std::size_t myrecvreal(PassContext& ctx, std::span<double> buffer,
+                       int msgtype, int target) {
+  require_bound(ctx);
+  return ctx.world->recv(ctx.mytid, target, msgtype, buffer);
+}
+
+}  // namespace plinger::mp

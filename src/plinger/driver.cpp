@@ -1,0 +1,159 @@
+#include "plinger/driver.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/timing.hpp"
+
+namespace plinger::parallel {
+
+using boltzmann::ModeEvolver;
+using boltzmann::ModeResult;
+
+RunOutput run_linger_serial(const cosmo::Background& bg,
+                            const cosmo::Recombination& rec,
+                            const boltzmann::PerturbationConfig& cfg,
+                            const KSchedule& schedule,
+                            const RunSetup& setup) {
+  RunOutput out;
+  out.n_workers = 1;
+  const double w0 = wallclock_seconds();
+
+  ModeEvolver evolver(bg, rec, cfg);
+  const double tau_end =
+      setup.tau_end > 0.0 ? setup.tau_end : bg.conformal_age();
+
+  // The serial main loop in k (paper §4: "The main loop of the serial
+  // code is in k"), walked in the schedule's issue order.
+  for (std::size_t ik = schedule.ik_first(); ik != 0;
+       ik = schedule.ik_next(ik)) {
+    boltzmann::EvolveRequest req;
+    req.k = schedule.k_of_ik(ik);
+    if (setup.lmax_cap > 0.0) {
+      req.lmax_photon = boltzmann::lmax_photon_for_k(
+          req.k, tau_end, static_cast<std::size_t>(setup.lmax_cap));
+    }
+    ModeResult r = evolver.evolve(req, tau_end);
+    out.total_worker_cpu_seconds += r.cpu_seconds;
+    out.total_flops += r.flops;
+    out.results.emplace(ik, std::move(r));
+  }
+  out.wallclock_seconds = wallclock_seconds() - w0;
+  return out;
+}
+
+RunOutput run_linger_autotask(const cosmo::Background& bg,
+                              const cosmo::Recombination& rec,
+                              const boltzmann::PerturbationConfig& cfg,
+                              const KSchedule& schedule,
+                              const RunSetup& setup, int n_threads) {
+  PLINGER_REQUIRE(n_threads >= 1, "run_linger_autotask: need >= 1 thread");
+  RunOutput out;
+  out.n_workers = n_threads;
+  const double w0 = wallclock_seconds();
+  const double tau_end =
+      setup.tau_end > 0.0 ? setup.tau_end : bg.conformal_age();
+
+  // Flatten the issue order once, then hand out items via an atomic
+  // cursor (the loop-level self-scheduling Autotasking provided).
+  std::vector<std::size_t> order;
+  for (std::size_t ik = schedule.ik_first(); ik != 0;
+       ik = schedule.ik_next(ik)) {
+    order.push_back(ik);
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::mutex out_mutex;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(n_threads));
+    for (int t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&] {
+        try {
+          ModeEvolver evolver(bg, rec, cfg);
+          for (;;) {
+            const std::size_t i = cursor.fetch_add(1);
+            if (i >= order.size()) break;
+            const std::size_t ik = order[i];
+            boltzmann::EvolveRequest req;
+            req.k = schedule.k_of_ik(ik);
+            if (setup.lmax_cap > 0.0) {
+              req.lmax_photon = boltzmann::lmax_photon_for_k(
+                  req.k, tau_end,
+                  static_cast<std::size_t>(setup.lmax_cap));
+            }
+            ModeResult r = evolver.evolve(req, tau_end);
+            const std::lock_guard<std::mutex> lock(out_mutex);
+            out.total_worker_cpu_seconds += r.cpu_seconds;
+            out.total_flops += r.flops;
+            out.results.emplace(ik, std::move(r));
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  out.wallclock_seconds = wallclock_seconds() - w0;
+  return out;
+}
+
+RunOutput run_plinger_threads(const cosmo::Background& bg,
+                              const cosmo::Recombination& rec,
+                              const boltzmann::PerturbationConfig& cfg,
+                              const KSchedule& schedule,
+                              const RunSetup& setup, int n_workers,
+                              mp::Library library) {
+  PLINGER_REQUIRE(n_workers >= 1, "run_plinger_threads: need >= 1 worker");
+  RunOutput out;
+  out.n_workers = n_workers;
+  const double w0 = wallclock_seconds();
+
+  mp::InProcWorld world(n_workers + 1, library);
+
+  // Worker threads (ranks 1..n).  Exceptions are captured and rethrown
+  // on the master thread after join.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::jthread> threads;
+  threads.reserve(static_cast<std::size_t>(n_workers));
+  for (int rank = 1; rank <= n_workers; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        ModeEvolver evolver(bg, rec, cfg);
+        mp::PassContext ctx = mp::initpass(world, rank);
+        run_worker(ctx, schedule, evolver);
+        mp::endpass(ctx);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+
+  // Master (rank 0) on the calling thread.
+  {
+    mp::PassContext ctx = mp::initpass(world, 0);
+    out.master = run_master(ctx, schedule, setup,
+                            [&out](std::size_t ik, const ModeResult& r) {
+                              out.total_worker_cpu_seconds += r.cpu_seconds;
+                              out.total_flops += r.flops;
+                              out.results.emplace(ik, r);
+                            });
+    mp::endpass(ctx);
+  }
+  threads.clear();  // join
+  if (first_error) std::rethrow_exception(first_error);
+
+  out.wallclock_seconds = wallclock_seconds() - w0;
+  out.transport = world.stats();
+  return out;
+}
+
+}  // namespace plinger::parallel

@@ -1,0 +1,77 @@
+#pragma once
+
+/// Run drivers.
+///
+///  * LINGER  — the serial code: the master loop is an ordinary for-loop
+///    over the schedule (no message passing), exactly one ModeEvolver.
+///  * PLINGER — the parallel code: rank 0 runs the master loop on the
+///    calling thread, ranks 1..n run worker loops on std::jthread, all
+///    over the wrapper API.  Results are identical to LINGER mode for
+///    mode (a protocol test asserts bitwise equality).
+///
+/// Timing mirrors the paper's Figure 1: total CPU time summed over
+/// workers (their etime) and master wallclock.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "boltzmann/mode_evolution.hpp"
+#include "mp/inproc.hpp"
+#include "plinger/protocol.hpp"
+#include "plinger/schedule.hpp"
+
+namespace plinger::parallel {
+
+/// One run's collected output: results keyed by 1-based work index, and
+/// the paper-style timing/accounting summary.
+struct RunOutput {
+  std::map<std::size_t, boltzmann::ModeResult> results;
+  double wallclock_seconds = 0.0;
+  double total_worker_cpu_seconds = 0.0;  ///< sum of per-mode CPU
+  std::uint64_t total_flops = 0;
+  mp::TransportStats transport;  ///< zeros for the serial driver
+  MasterStats master;            ///< fault-handling accounting
+  int n_workers = 0;
+
+  /// Paper §5.2: (total CPU time) / (wallclock x number of workers).
+  double parallel_efficiency() const {
+    return total_worker_cpu_seconds /
+           (wallclock_seconds * static_cast<double>(n_workers));
+  }
+  /// Aggregate sustained flop rate (paper §5.1 analogue).
+  double flops_per_second() const {
+    return static_cast<double>(total_flops) / wallclock_seconds;
+  }
+};
+
+/// Serial LINGER run.
+RunOutput run_linger_serial(const cosmo::Background& bg,
+                            const cosmo::Recombination& rec,
+                            const boltzmann::PerturbationConfig& cfg,
+                            const KSchedule& schedule,
+                            const RunSetup& setup);
+
+/// Shared-memory loop-level parallel LINGER — the analogue of running
+/// the serial code under Cray Autotasking on the C90 (paper §3: "it is
+/// more efficient to use Cray's Autotasking directives to parallelize
+/// the serial code").  No message passing: n_threads workers pull the
+/// next work item from a shared atomic cursor over the schedule.
+/// Results are identical to the serial driver mode for mode.
+RunOutput run_linger_autotask(const cosmo::Background& bg,
+                              const cosmo::Recombination& rec,
+                              const boltzmann::PerturbationConfig& cfg,
+                              const KSchedule& schedule,
+                              const RunSetup& setup, int n_threads);
+
+/// Threaded PLINGER run with n_workers worker ranks (world size
+/// n_workers + 1).  Each worker owns its ModeEvolver; background and
+/// thermodynamics are shared read-only.
+RunOutput run_plinger_threads(const cosmo::Background& bg,
+                              const cosmo::Recombination& rec,
+                              const boltzmann::PerturbationConfig& cfg,
+                              const KSchedule& schedule,
+                              const RunSetup& setup, int n_workers,
+                              mp::Library library = mp::Library::mpisim);
+
+}  // namespace plinger::parallel

@@ -1,0 +1,190 @@
+#include "plinger/protocol.hpp"
+
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "common/error.hpp"
+#include "plinger/records.hpp"
+
+namespace plinger::parallel {
+
+std::array<double, 5> RunSetup::to_buffer() const {
+  return {tau_end, lmax_cap, rtol, n_k, reserved};
+}
+
+RunSetup RunSetup::from_buffer(std::span<const double> b) {
+  PLINGER_REQUIRE(b.size() >= 5, "RunSetup: short buffer");
+  RunSetup s;
+  s.tau_end = b[0];
+  s.lmax_cap = b[1];
+  s.rtol = b[2];
+  s.n_k = b[3];
+  s.reserved = b[4];
+  return s;
+}
+
+MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
+                       const RunSetup& setup, const ResultSink& sink,
+                       int max_retries) {
+  PLINGER_REQUIRE(ctx.is_master(), "run_master called on a worker rank");
+  const int n_workers = ctx.world->size() - 1;
+  PLINGER_REQUIRE(n_workers >= 1, "run_master: no workers");
+
+  // Broadcast initial data to workers (tag 1, 5 doubles).
+  const auto buf = setup.to_buffer();
+  mp::mybcastreal(ctx, buf, kTagInit);
+
+  MasterStats mstats;
+  std::size_t ik = schedule.ik_first();  // next fresh wavenumber (0: none)
+  std::deque<std::size_t> retry_queue;
+  std::map<std::size_t, int> attempts;
+  std::size_t ik_settled = 0;  // completed or permanently failed
+  int stops_sent = 0;
+  std::vector<double> header(kHeaderLength, 0.0);
+
+  // Serve until every wavenumber is settled AND every worker stopped.
+  while (ik_settled < schedule.size() || stops_sent < n_workers) {
+    int msgtype = 0, itid = 0;
+    mp::mycheckany(ctx, msgtype, itid);
+
+    bool want_reply = false;
+    if (msgtype == kTagRequest) {
+      // Worker is ready for its first ik; the message carries no data.
+      double dummy = 0.0;
+      mp::myrecvreal(ctx, std::span<double>(&dummy, 1), kTagRequest, itid);
+      want_reply = true;
+    } else if (msgtype == kTagHeader) {
+      // First part of a result; its y(21) tells us the tag-5 length.
+      mp::myrecvreal(ctx, header, kTagHeader, itid);
+      const std::size_t lmax = header_lmax(header);
+      // The payload length also needs lmax_pol; probe reports the true
+      // length, so size the buffer from the probe (MPI_Get_count idiom).
+      mp::mycheckone(ctx, kTagPayload, itid);
+      const mp::ProbeResult pr =
+          ctx.world->probe(ctx.mytid, itid, kTagPayload);
+      std::vector<double> payload(pr.length, 0.0);
+      mp::myrecvreal(ctx, payload, kTagPayload, itid);
+
+      std::size_t ik_done_now = 0;
+      const boltzmann::ModeResult result =
+          unpack_records(header, payload, ik_done_now);
+      PLINGER_REQUIRE(result.lmax == lmax,
+                      "master: header/payload lmax mismatch");
+      sink(ik_done_now, result);
+      ++ik_settled;
+      want_reply = true;
+    } else if (msgtype == kTagError) {
+      // A worker failed on this wavenumber; requeue or give up.
+      double failed = 0.0;
+      mp::myrecvreal(ctx, std::span<double>(&failed, 1), kTagError, itid);
+      const auto ik_failed =
+          static_cast<std::size_t>(std::llround(failed));
+      if (++attempts[ik_failed] <= max_retries) {
+        retry_queue.push_back(ik_failed);
+        ++mstats.n_requeued;
+      } else {
+        mstats.failed_ik.push_back(ik_failed);
+        ++ik_settled;
+      }
+      want_reply = true;
+    } else {
+      throw mp::ProtocolError("master received unexpected tag " +
+                              std::to_string(msgtype));
+    }
+
+    if (want_reply) {
+      std::size_t next = 0;
+      if (!retry_queue.empty()) {
+        next = retry_queue.front();
+        retry_queue.pop_front();
+      } else if (ik != 0) {
+        next = ik;
+        ik = schedule.ik_next(ik);
+      }
+      if (next != 0) {
+        // Reply with the next wavenumber (tag 3).
+        const double y = static_cast<double>(next);
+        mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagAssign,
+                       itid);
+      } else {
+        // No more wavenumbers: tell the worker to stop (tag 6).
+        const double y = 0.0;
+        mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagStop, itid);
+        ++stops_sent;
+      }
+    }
+  }
+  return mstats;
+}
+
+void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
+                const EvolveFn& evolve) {
+  PLINGER_REQUIRE(!ctx.is_master(), "run_worker called on the master rank");
+
+  // Receive initial data from master (tag 1).
+  std::array<double, 5> setup_buf{};
+  mp::mycheckone(ctx, kTagInit, ctx.mastid);
+  mp::myrecvreal(ctx, setup_buf, kTagInit, ctx.mastid);
+  const RunSetup setup = RunSetup::from_buffer(setup_buf);
+  PLINGER_REQUIRE(static_cast<std::size_t>(std::llround(setup.n_k)) ==
+                      schedule.size(),
+                  "worker: schedule size disagrees with broadcast");
+
+  // Ask for a wavenumber (tag 2; no data, 1 double as in the paper).
+  const double zero = 0.0;
+  mp::mysendreal(ctx, std::span<const double>(&zero, 1), kTagRequest,
+                 ctx.mastid);
+
+  for (;;) {
+    // Receive next ik (tag 3) or stop (tag 6).
+    int msgtype = 0;
+    mp::mychecktid(ctx, msgtype, ctx.mastid);
+    double value = 0.0;
+    mp::myrecvreal(ctx, std::span<double>(&value, 1), msgtype, ctx.mastid);
+    if (msgtype == kTagStop) break;
+    PLINGER_REQUIRE(msgtype == kTagAssign,
+                    "worker: unexpected tag from master");
+
+    const auto ik = static_cast<std::size_t>(std::llround(value));
+    boltzmann::EvolveRequest req;
+    req.k = schedule.k_of_ik(ik);
+    const double tau_end = setup.tau_end;
+    if (setup.lmax_cap > 0.0 && tau_end > 0.0) {
+      req.lmax_photon = boltzmann::lmax_photon_for_k(
+          req.k, tau_end, static_cast<std::size_t>(setup.lmax_cap));
+    }
+    try {
+      const boltzmann::ModeResult result = evolve(req, tau_end);
+      const auto header = pack_header(ik, result);
+      const auto payload = pack_payload(ik, result);
+      mp::mysendreal(ctx, header, kTagHeader, ctx.mastid);
+      mp::mysendreal(ctx, payload, kTagPayload, ctx.mastid);
+    } catch (const Error&) {
+      // Report the failure (tag 7) and keep serving.
+      const double failed = static_cast<double>(ik);
+      mp::mysendreal(ctx, std::span<const double>(&failed, 1), kTagError,
+                     ctx.mastid);
+    }
+  }
+}
+
+void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
+                const boltzmann::ModeEvolver& evolver) {
+  run_worker(ctx, schedule,
+             [&evolver](const boltzmann::EvolveRequest& req,
+                        double tau_end) {
+               const double end =
+                   tau_end > 0.0
+                       ? tau_end
+                       : evolver.background().conformal_age();
+               boltzmann::EvolveRequest r = req;
+               if (r.lmax_photon == 0) {
+                 // tau_end was 0 in the broadcast: size lmax here.
+                 r.lmax_photon = boltzmann::lmax_photon_for_k(r.k, end);
+               }
+               return evolver.evolve(r, end);
+             });
+}
+
+}  // namespace plinger::parallel

@@ -1,0 +1,90 @@
+#pragma once
+
+/// The PLINGER master/worker protocol (paper Appendix A).
+///
+/// Tags:
+///   1 - first message from master to workers (broadcast of run setup)
+///   2 - from worker: asking for a wavenumber
+///   3 - from master: giving worker a wavenumber to work on
+///   4 - from worker: first set of data and lmax (21-double header)
+///   5 - from worker: moment payload (length depends on lmax)
+///   6 - from master: telling worker to stop
+///
+/// The master and worker loops below are direct transliterations of the
+/// paper's parentsub/kidsub pseudo-code onto the wrapper API, with one
+/// robustness addition: the master keeps serving tag-2 requests until
+/// every worker has been sent its stop message, so no worker can be left
+/// blocked when the run ends (the Fortran original exits as soon as the
+/// last result arrives, which relies on process teardown to reap idle
+/// workers).
+
+#include <array>
+#include <functional>
+#include <span>
+
+#include "boltzmann/mode_evolution.hpp"
+#include "mp/wrappers.hpp"
+#include "plinger/schedule.hpp"
+
+namespace plinger::parallel {
+
+/// Protocol tags (Appendix A table; tag 7 is our robustness extension —
+/// the Fortran original would simply crash the run).
+enum Tag : int {
+  kTagInit = 1,
+  kTagRequest = 2,
+  kTagAssign = 3,
+  kTagHeader = 4,
+  kTagPayload = 5,
+  kTagStop = 6,
+  kTagError = 7,  ///< from worker: integration of ik failed; requeue it
+};
+
+/// Run setup broadcast with tag 1 — "a few quantities ... such as the
+/// time at which to end the evolution and the maximum number of angular
+/// moments l to compute"; 5 doubles as in the paper's parentsub.
+struct RunSetup {
+  double tau_end = 0.0;    ///< 0 selects the conformal age
+  double lmax_cap = 12000;  ///< photon hierarchy cap
+  double rtol = 1e-6;
+  double n_k = 0.0;        ///< grid size (workers cross-check)
+  double reserved = 0.0;
+
+  std::array<double, 5> to_buffer() const;
+  static RunSetup from_buffer(std::span<const double> b);
+};
+
+/// Called by the master for every completed wavenumber, in arrival order.
+using ResultSink =
+    std::function<void(std::size_t ik, const boltzmann::ModeResult&)>;
+
+/// Fault-handling accounting returned by the master.
+struct MasterStats {
+  std::size_t n_requeued = 0;  ///< tag-7 reports that were retried
+  std::vector<std::size_t> failed_ik;  ///< exhausted their retries
+};
+
+/// The master loop ("parentsub"): broadcast setup, serve wavenumbers,
+/// collect results, stop every worker.  Returns when all of both has
+/// happened.  A wavenumber reported failed (tag 7) is requeued up to
+/// max_retries times, then recorded in MasterStats::failed_ik.
+MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
+                       const RunSetup& setup, const ResultSink& sink,
+                       int max_retries = 2);
+
+/// What a worker does for one wavenumber; lets tests and alternative
+/// backends substitute the integration.
+using EvolveFn = std::function<boltzmann::ModeResult(
+    const boltzmann::EvolveRequest&, double tau_end)>;
+
+/// The worker loop ("kidsub"): receive setup, request work, integrate,
+/// report, repeat until stopped.  An exception from the evolve function
+/// is reported to the master as tag 7 and the worker keeps serving.
+void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
+                const EvolveFn& evolve);
+
+/// Convenience overload binding a ModeEvolver (must outlive the call).
+void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
+                const boltzmann::ModeEvolver& evolver);
+
+}  // namespace plinger::parallel

@@ -1,0 +1,112 @@
+#include "plinger/records.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace plinger::parallel {
+
+using boltzmann::ModeResult;
+using boltzmann::TransferSample;
+
+std::vector<double> pack_header(std::size_t ik, const ModeResult& r) {
+  std::vector<double> y(kHeaderLength, 0.0);
+  const TransferSample& f = r.final_state;
+  y[0] = static_cast<double>(ik);
+  y[1] = r.k;
+  y[2] = r.tau_end;
+  y[3] = f.a;
+  y[4] = f.delta_c;
+  y[5] = f.delta_b;
+  y[6] = f.delta_g;
+  y[7] = f.delta_nu;
+  y[8] = f.delta_m;
+  y[9] = f.theta_b;
+  y[10] = f.theta_g;
+  y[11] = f.eta;
+  y[12] = f.h;
+  y[13] = f.phi;
+  y[14] = f.psi;
+  y[15] = static_cast<double>(r.stats.n_accepted);
+  y[16] = static_cast<double>(r.stats.n_rhs);
+  y[17] = static_cast<double>(r.flops);
+  y[18] = r.cpu_seconds;
+  y[19] = r.tau_switch;
+  y[20] = static_cast<double>(r.lmax);  // the paper's y(21) = lmax
+  return y;
+}
+
+std::vector<double> pack_payload(std::size_t ik, const ModeResult& r) {
+  PLINGER_REQUIRE(r.f_gamma.size() == r.lmax + 1,
+                  "pack_payload: f_gamma size mismatch");
+  const std::size_t lmax_pol = r.g_gamma.size() - 1;
+  std::vector<double> y(payload_length(r.lmax, lmax_pol), 0.0);
+  y[0] = static_cast<double>(ik);
+  y[1] = r.k;
+  y[2] = static_cast<double>(r.lmax);
+  y[3] = static_cast<double>(lmax_pol);
+  y[4] = r.tau_init;
+  y[5] = r.tau_switch;
+  y[6] = r.tau_end;
+  y[7] = 0.0;  // reserved
+  std::size_t at = 8;
+  for (double v : r.f_gamma) y[at++] = v;
+  for (double v : r.g_gamma) y[at++] = v;
+  return y;
+}
+
+std::size_t header_lmax(const std::vector<double>& header) {
+  PLINGER_REQUIRE(header.size() == kHeaderLength, "header_lmax: bad record");
+  return static_cast<std::size_t>(std::llround(header[20]));
+}
+
+std::size_t payload_lmax_pol(const std::vector<double>& payload) {
+  PLINGER_REQUIRE(payload.size() >= 8, "payload_lmax_pol: bad record");
+  return static_cast<std::size_t>(std::llround(payload[3]));
+}
+
+ModeResult unpack_records(const std::vector<double>& header,
+                          const std::vector<double>& payload,
+                          std::size_t& ik) {
+  PLINGER_REQUIRE(header.size() == kHeaderLength,
+                  "unpack_records: bad header length");
+  ModeResult r;
+  ik = static_cast<std::size_t>(std::llround(header[0]));
+  r.k = header[1];
+  r.tau_end = header[2];
+  TransferSample& f = r.final_state;
+  f.tau = r.tau_end;
+  f.a = header[3];
+  f.delta_c = header[4];
+  f.delta_b = header[5];
+  f.delta_g = header[6];
+  f.delta_nu = header[7];
+  f.delta_m = header[8];
+  f.theta_b = header[9];
+  f.theta_g = header[10];
+  f.eta = header[11];
+  f.h = header[12];
+  f.phi = header[13];
+  f.psi = header[14];
+  r.stats.n_accepted = static_cast<long>(std::llround(header[15]));
+  r.stats.n_rhs = static_cast<long>(std::llround(header[16]));
+  r.flops = static_cast<std::uint64_t>(header[17]);
+  r.cpu_seconds = header[18];
+  r.tau_switch = header[19];
+  r.lmax = header_lmax(header);
+
+  const std::size_t ik2 =
+      static_cast<std::size_t>(std::llround(payload[0]));
+  PLINGER_REQUIRE(ik2 == ik, "unpack_records: header/payload ik mismatch");
+  const std::size_t lmax_pol = payload_lmax_pol(payload);
+  PLINGER_REQUIRE(payload.size() == payload_length(r.lmax, lmax_pol),
+                  "unpack_records: bad payload length");
+  r.tau_init = payload[4];
+  r.f_gamma.assign(payload.begin() + 8,
+                   payload.begin() + 8 + static_cast<long>(r.lmax) + 1);
+  r.g_gamma.assign(payload.begin() + 8 + static_cast<long>(r.lmax) + 1,
+                   payload.end());
+  return r;
+}
+
+}  // namespace plinger::parallel

@@ -1,0 +1,57 @@
+#pragma once
+
+/// Wire records of the PLINGER protocol (Appendix A).
+///
+/// A completed wavenumber is reported in two messages:
+///
+///  * tag 4 — a fixed 21-double header.  The paper's master writes
+///    y(1)..y(20) to an ASCII file and reads lmax from y(21); our header
+///    carries ik, k, the final-state transfer summary, run statistics,
+///    and lmax in slot 21 — same length, same role.
+///
+///  * tag 5 — the variable-length moment payload.  The paper's length is
+///    8 + 2*lmax (temperature + polarization moment arrays plus an
+///    8-slot preamble); ours is 8 + (lmax+1) + (lmax_pol+1), preserving
+///    the proportionality of message size to lmax that drives the §4
+///    message-economics discussion (max ~80 kB at lmax ~ 5000).
+///
+/// Pack/unpack are exact inverses; the protocol tests round-trip them.
+
+#include <cstddef>
+#include <vector>
+
+#include "boltzmann/mode_evolution.hpp"
+
+namespace plinger::parallel {
+
+/// Number of doubles in the tag-4 header record.
+inline constexpr std::size_t kHeaderLength = 21;
+
+/// Payload length in doubles for given hierarchy sizes.
+inline constexpr std::size_t payload_length(std::size_t lmax,
+                                            std::size_t lmax_pol) {
+  return 8 + (lmax + 1) + (lmax_pol + 1);
+}
+
+/// Pack the tag-4 header for work item ik.
+std::vector<double> pack_header(std::size_t ik,
+                                const boltzmann::ModeResult& result);
+
+/// Pack the tag-5 payload.
+std::vector<double> pack_payload(std::size_t ik,
+                                 const boltzmann::ModeResult& result);
+
+/// Reassemble a ModeResult (sans samples) from the two records.
+/// Returns the work index ik through the out-parameter.
+boltzmann::ModeResult unpack_records(const std::vector<double>& header,
+                                     const std::vector<double>& payload,
+                                     std::size_t& ik);
+
+/// lmax as stored in a header (slot 21, i.e. index 20 — "y(21)" in the
+/// paper's Fortran), needed by the master to size the tag-5 receive.
+std::size_t header_lmax(const std::vector<double>& header);
+
+/// Polarization lmax stored in the payload preamble.
+std::size_t payload_lmax_pol(const std::vector<double>& payload);
+
+}  // namespace plinger::parallel

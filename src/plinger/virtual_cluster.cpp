@@ -1,0 +1,115 @@
+#include "plinger/virtual_cluster.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "boltzmann/config.hpp"
+#include "common/error.hpp"
+#include "plinger/records.hpp"
+
+namespace plinger::parallel {
+
+std::size_t MessageSizer::result_bytes(double k) const {
+  const std::size_t lmax =
+      boltzmann::lmax_photon_for_k(k, tau0, lmax_cap);
+  const std::size_t pol = std::min(lmax_pol, lmax);
+  return sizeof(double) *
+         (kHeaderLength + payload_length(lmax, pol));
+}
+
+namespace {
+
+/// A pending master-side arrival.
+struct Arrival {
+  double time = 0.0;
+  int worker = 0;     ///< 1-based worker id
+  bool is_result = false;  ///< false: initial tag-2 request
+  double cpu_spent = 0.0;  ///< compute time the worker just spent
+
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+VirtualRunResult simulate_virtual_cluster(
+    const KSchedule& schedule, int n_workers, const CostModel& cost,
+    const LinkModel& link, const MessageSizer& sizer,
+    const std::vector<double>& worker_speed) {
+  PLINGER_REQUIRE(n_workers >= 1, "virtual cluster: need >= 1 worker");
+  PLINGER_REQUIRE(worker_speed.empty() ||
+                      worker_speed.size() ==
+                          static_cast<std::size_t>(n_workers),
+                  "virtual cluster: worker_speed size mismatch");
+  auto speed_of = [&](int w) {
+    if (worker_speed.empty()) return 1.0;
+    const double s = worker_speed[static_cast<std::size_t>(w - 1)];
+    PLINGER_REQUIRE(s > 0.0, "virtual cluster: speeds must be positive");
+    return s;
+  };
+  VirtualRunResult out;
+  out.n_workers = n_workers;
+  out.worker_busy_seconds.assign(static_cast<std::size_t>(n_workers) + 1,
+                                 0.0);
+
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> queue;
+
+  // Broadcast (tag 1, 5 doubles) then each worker's first request
+  // (tag 2, 1 double) arrives after two transits.
+  const std::size_t bcast_bytes = 5 * sizeof(double);
+  const std::size_t request_bytes = 1 * sizeof(double);
+  for (int w = 1; w <= n_workers; ++w) {
+    const double t = link.transit(bcast_bytes) + link.transit(request_bytes);
+    queue.push(Arrival{t, w, false, 0.0});
+    out.n_messages += 2;
+    out.n_bytes += bcast_bytes + request_bytes;
+  }
+
+  double master_free = 0.0;
+  std::size_t ik = schedule.ik_first();
+  std::size_t ikdone = 0;
+  double last_result_time = 0.0;
+
+  while (!queue.empty()) {
+    const Arrival a = queue.top();
+    queue.pop();
+    if (a.is_result) {
+      ++ikdone;
+      last_result_time = std::max(a.time, master_free);
+    }
+    out.total_worker_cpu_seconds += a.cpu_spent;
+
+    // Master handles the message (serialized service).
+    const double service_start = std::max(a.time, master_free);
+    master_free = service_start + link.master_service_seconds;
+    out.master_busy_seconds += link.master_service_seconds;
+    if (a.is_result) last_result_time = master_free;
+
+    const std::size_t assign_bytes = 1 * sizeof(double);
+    out.n_messages += 1;
+    out.n_bytes += assign_bytes;
+    if (ik != 0) {
+      // Assignment (tag 3) travels back; worker computes; result (tags
+      // 4+5) travels to the master.
+      const double k = schedule.k_of_ik(ik);
+      const double cpu = cost(k) / speed_of(a.worker);
+      PLINGER_REQUIRE(cpu >= 0.0, "virtual cluster: negative cost");
+      const std::size_t result_bytes = sizer.result_bytes(k);
+      const double done = master_free + link.transit(assign_bytes) + cpu +
+                          link.transit(result_bytes);
+      out.worker_busy_seconds[static_cast<std::size_t>(a.worker)] += cpu;
+      out.n_messages += 2;  // tags 4 and 5 combined in result_bytes
+      out.n_bytes += result_bytes;
+      queue.push(Arrival{done, a.worker, true, cpu});
+      ik = schedule.ik_next(ik);
+    }
+    // ik == 0: stop message (tag 6) already accounted above; the worker
+    // leaves the simulation.
+  }
+
+  PLINGER_REQUIRE(ikdone == schedule.size(),
+                  "virtual cluster: lost work items");
+  out.wallclock_seconds = last_result_time;
+  return out;
+}
+
+}  // namespace plinger::parallel

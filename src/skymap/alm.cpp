@@ -1,0 +1,59 @@
+#include "skymap/alm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "math/rng.hpp"
+
+namespace plinger::skymap {
+
+AlmSet::AlmSet(std::size_t l_max) : l_max_(l_max) {
+  a_.assign((l_max + 1) * (l_max + 2) / 2, {0.0, 0.0});
+}
+
+std::complex<double>& AlmSet::at(std::size_t l, std::size_t m) {
+  PLINGER_REQUIRE(l <= l_max_ && m <= l, "AlmSet: index out of range");
+  return a_[l * (l + 1) / 2 + m];
+}
+
+const std::complex<double>& AlmSet::at(std::size_t l, std::size_t m) const {
+  PLINGER_REQUIRE(l <= l_max_ && m <= l, "AlmSet: index out of range");
+  return a_[l * (l + 1) / 2 + m];
+}
+
+double AlmSet::realized_cl(std::size_t l) const {
+  double sum = std::norm(at(l, 0));
+  for (std::size_t m = 1; m <= l; ++m) sum += 2.0 * std::norm(at(l, m));
+  return sum / (2.0 * static_cast<double>(l) + 1.0);
+}
+
+void AlmSet::apply_gaussian_beam(double sigma_radians) {
+  PLINGER_REQUIRE(sigma_radians >= 0.0, "beam sigma must be >= 0");
+  for (std::size_t l = 0; l <= l_max_; ++l) {
+    const double ll = static_cast<double>(l);
+    const double b =
+        std::exp(-0.5 * ll * (ll + 1.0) * sigma_radians * sigma_radians);
+    for (std::size_t m = 0; m <= l; ++m) at(l, m) *= b;
+  }
+}
+
+AlmSet realize_alm(const spectra::AngularSpectrum& spectrum,
+                   std::uint64_t seed) {
+  const std::size_t l_max = spectrum.l_max();
+  PLINGER_REQUIRE(l_max >= 2, "realize_alm: spectrum too short");
+  AlmSet alm(l_max);
+  plinger::math::Xoshiro256 rng(seed);
+  for (std::size_t l = 2; l <= l_max; ++l) {
+    const double cl = spectrum.cl[l];
+    PLINGER_REQUIRE(cl >= 0.0, "realize_alm: negative C_l");
+    const double s = std::sqrt(cl);
+    alm.at(l, 0) = {s * rng.gaussian(), 0.0};
+    const double s2 = s / std::sqrt(2.0);
+    for (std::size_t m = 1; m <= l; ++m) {
+      alm.at(l, m) = {s2 * rng.gaussian(), s2 * rng.gaussian()};
+    }
+  }
+  return alm;
+}
+
+}  // namespace plinger::skymap

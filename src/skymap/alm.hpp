@@ -1,0 +1,43 @@
+#pragma once
+
+/// Gaussian realizations of spherical-harmonic coefficients from a C_l —
+/// the first half of Figure 3's "simulated sky map, analogous to the
+/// COBE sky map, made using the output of PLINGER".
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "spectra/cl.hpp"
+
+namespace plinger::skymap {
+
+/// a_lm coefficients for m >= 0 (the m < 0 half follows from reality:
+/// a_{l,-m} = (-1)^m conj(a_lm)).
+class AlmSet {
+ public:
+  explicit AlmSet(std::size_t l_max);
+
+  std::size_t l_max() const { return l_max_; }
+
+  std::complex<double>& at(std::size_t l, std::size_t m);
+  const std::complex<double>& at(std::size_t l, std::size_t m) const;
+
+  /// Realized angular power \hat C_l = (|a_l0|^2 + 2 sum_m |a_lm|^2)/(2l+1).
+  double realized_cl(std::size_t l) const;
+
+  /// Multiply every a_lm by a Gaussian beam b_l = exp(-l(l+1) sigma^2/2);
+  /// sigma in radians (fwhm = sigma sqrt(8 ln 2)).
+  void apply_gaussian_beam(double sigma_radians);
+
+ private:
+  std::size_t l_max_;
+  std::vector<std::complex<double>> a_;  ///< index l(l+1)/2 + m
+};
+
+/// Draw a Gaussian realization with <|a_lm|^2> = C_l.  Deterministic for
+/// a given seed.
+AlmSet realize_alm(const spectra::AngularSpectrum& spectrum,
+                   std::uint64_t seed);
+
+}  // namespace plinger::skymap

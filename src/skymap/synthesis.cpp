@@ -1,0 +1,98 @@
+#include "skymap/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "math/legendre.hpp"
+
+namespace plinger::skymap {
+
+double SkyMap::min() const {
+  return *std::min_element(data.begin(), data.end());
+}
+double SkyMap::max() const {
+  return *std::max_element(data.begin(), data.end());
+}
+
+double SkyMap::mean() const {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n_lat; ++i) {
+    const double theta =
+        std::numbers::pi * (static_cast<double>(i) + 0.5) /
+        static_cast<double>(n_lat);
+    const double w = std::sin(theta);
+    for (std::size_t j = 0; j < n_lon; ++j) {
+      num += w * at(i, j);
+      den += w;
+    }
+  }
+  return num / den;
+}
+
+double SkyMap::variance() const {
+  const double mu = mean();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n_lat; ++i) {
+    const double theta =
+        std::numbers::pi * (static_cast<double>(i) + 0.5) /
+        static_cast<double>(n_lat);
+    const double w = std::sin(theta);
+    for (std::size_t j = 0; j < n_lon; ++j) {
+      const double d = at(i, j) - mu;
+      num += w * d * d;
+      den += w;
+    }
+  }
+  return num / den;
+}
+
+double SkyMap::rms() const { return std::sqrt(variance()); }
+
+SkyMap synthesize(const AlmSet& alm, std::size_t n_lat, std::size_t n_lon) {
+  PLINGER_REQUIRE(n_lat >= 2 && n_lon >= 4, "synthesize: grid too small");
+  const std::size_t l_max = alm.l_max();
+  SkyMap map;
+  map.n_lat = n_lat;
+  map.n_lon = n_lon;
+  map.data.assign(n_lat * n_lon, 0.0);
+
+  plinger::math::AssociatedLegendre legendre(l_max);
+  std::vector<double> lam(l_max + 1);
+  // f_m(theta) = sum_l a_lm lambda_lm(cos theta).
+  std::vector<std::complex<double>> f_m(l_max + 1);
+
+  for (std::size_t i = 0; i < n_lat; ++i) {
+    const double theta =
+        std::numbers::pi * (static_cast<double>(i) + 0.5) /
+        static_cast<double>(n_lat);
+    const double x = std::cos(theta);
+    for (std::size_t m = 0; m <= l_max; ++m) {
+      legendre.lambda_lm(m, x, lam);
+      std::complex<double> acc(0.0, 0.0);
+      for (std::size_t l = std::max<std::size_t>(m, 2); l <= l_max; ++l) {
+        acc += alm.at(l, m) * lam[l - m];
+      }
+      f_m[m] = acc;
+    }
+    // T(theta, phi) = f_0 + 2 sum_{m>0} Re[f_m e^{i m phi}], evaluated
+    // with an incremental phase rotation per pixel.
+    for (std::size_t j = 0; j < n_lon; ++j) {
+      const double phi = 2.0 * std::numbers::pi *
+                         (static_cast<double>(j) + 0.5) /
+                         static_cast<double>(n_lon);
+      const std::complex<double> dphase(std::cos(phi), std::sin(phi));
+      std::complex<double> phase(1.0, 0.0);
+      double t = f_m[0].real();
+      for (std::size_t m = 1; m <= l_max; ++m) {
+        phase *= dphase;
+        t += 2.0 * (f_m[m] * phase).real();
+      }
+      map.at(i, j) = t;
+    }
+  }
+  return map;
+}
+
+}  // namespace plinger::skymap

@@ -1,0 +1,43 @@
+#pragma once
+
+/// Spherical-harmonic synthesis of a sky map on an equirectangular
+/// (latitude x longitude) grid — the second half of Figure 3.  The
+/// paper's map has half-degree resolution versus ten degrees for COBE,
+/// with temperature extremes of +-200 micro-K about T = 2.726 K.
+
+#include <cstddef>
+#include <vector>
+
+#include "skymap/alm.hpp"
+
+namespace plinger::skymap {
+
+/// A pixelized map: row-major n_lat x n_lon, theta from ~0 (north pole)
+/// to ~pi, phi from 0 to 2 pi; pixel centers offset half a cell.
+struct SkyMap {
+  std::size_t n_lat = 0, n_lon = 0;
+  std::vector<double> data;
+
+  double& at(std::size_t i_lat, std::size_t i_lon) {
+    return data[i_lat * n_lon + i_lon];
+  }
+  double at(std::size_t i_lat, std::size_t i_lon) const {
+    return data[i_lat * n_lon + i_lon];
+  }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Area-weighted rms about the mean (weights ~ sin theta).
+  double rms() const;
+  /// Area-weighted rms temperature variance, for comparison against
+  /// sum (2l+1) C_l / 4 pi.
+  double variance() const;
+};
+
+/// Synthesize T(theta, phi) = sum_lm a_lm Y_lm via associated-Legendre
+/// recurrences per latitude ring and a real m-sum per pixel.
+/// Cost O(n_lat (l_max^2 + n_lon l_max)).
+SkyMap synthesize(const AlmSet& alm, std::size_t n_lat, std::size_t n_lon);
+
+}  // namespace plinger::skymap

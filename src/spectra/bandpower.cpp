@@ -1,0 +1,39 @@
+#include "spectra/bandpower.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace plinger::spectra {
+
+double band_power_delta_t(const AngularSpectrum& spec, std::size_t l_lo,
+                          std::size_t l_hi) {
+  PLINGER_REQUIRE(l_lo >= 2 && l_hi >= l_lo, "band_power: bad window");
+  const std::size_t top = std::min(l_hi, spec.l_max());
+  double num = 0.0, den = 0.0;
+  for (std::size_t l = l_lo; l <= top; ++l) {
+    const double w = 2.0 * static_cast<double>(l) + 1.0;
+    num += w * spec.dl(l);
+    den += w;
+  }
+  PLINGER_REQUIRE(den > 0.0, "band_power: empty window");
+  return std::sqrt(num / den);
+}
+
+double band_power_gaussian(const AngularSpectrum& spec, double l_eff,
+                           double sigma_l) {
+  PLINGER_REQUIRE(sigma_l > 0.0, "band_power: sigma_l must be positive");
+  double num = 0.0, den = 0.0;
+  for (std::size_t l = 2; l <= spec.l_max(); ++l) {
+    const double x = (static_cast<double>(l) - l_eff) / sigma_l;
+    const double w =
+        (2.0 * static_cast<double>(l) + 1.0) * std::exp(-0.5 * x * x);
+    num += w * spec.dl(l);
+    den += w;
+  }
+  PLINGER_REQUIRE(den > 0.0, "band_power: empty window");
+  return std::sqrt(num / den);
+}
+
+}  // namespace plinger::spectra

@@ -1,0 +1,25 @@
+#pragma once
+
+/// Band-power utilities for comparing a theory C_l against the
+/// experimental points of Figure 2 (the COSAPP compilation role).
+
+#include <cstddef>
+
+#include "spectra/cl.hpp"
+
+namespace plinger::spectra {
+
+/// Flat band-power of a spectrum over a top-hat window [l_lo, l_hi]:
+/// the (2l+1)-weighted average of l(l+1) C_l / 2 pi, returned as
+/// delta-T in the same units as sqrt(C_l) (multiply by T_cmb for Kelvin):
+///   dT^2 = < l(l+1) C_l / 2 pi >_{(2l+1) weights}.
+double band_power_delta_t(const AngularSpectrum& spec, std::size_t l_lo,
+                          std::size_t l_hi);
+
+/// Gaussian-beam smoothed band power centered at l_eff with dispersion
+/// sigma_l — a crude single-parameter window model adequate for the
+/// figure-level comparison.
+double band_power_gaussian(const AngularSpectrum& spec, double l_eff,
+                           double sigma_l);
+
+}  // namespace plinger::spectra

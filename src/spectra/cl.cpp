@@ -1,0 +1,90 @@
+#include "spectra/cl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace plinger::spectra {
+
+std::vector<double> make_cl_kgrid(std::size_t l_max, double tau0,
+                                  double points_per_osc, double k_margin) {
+  PLINGER_REQUIRE(l_max >= 2, "make_cl_kgrid: l_max must be >= 2");
+  PLINGER_REQUIRE(tau0 > 0.0, "make_cl_kgrid: tau0 must be positive");
+  PLINGER_REQUIRE(points_per_osc >= 1.0,
+                  "make_cl_kgrid: points_per_osc must be >= 1");
+  const double dk = std::numbers::pi / (points_per_osc * tau0);
+  const double k_min = 0.25 / tau0;
+  const double k_max = k_margin * static_cast<double>(l_max) / tau0;
+  std::vector<double> k;
+  for (double kk = k_min; kk <= k_max; kk += dk) k.push_back(kk);
+  return k;
+}
+
+ClAccumulator::ClAccumulator(std::size_t l_max, PowerLawSpectrum primordial)
+    : l_max_(l_max),
+      primordial_(primordial),
+      ct_(l_max + 1, 0.0),
+      cp_(l_max + 1, 0.0),
+      cx_(l_max + 1, 0.0) {
+  PLINGER_REQUIRE(l_max >= 2, "ClAccumulator: l_max must be >= 2");
+}
+
+void ClAccumulator::add_mode(double k, double weight_dk,
+                             const std::vector<double>& f_gamma) {
+  PLINGER_REQUIRE(k > 0.0 && weight_dk > 0.0,
+                  "add_mode: k and weight must be positive");
+  // C_l += 4 pi P(k) (F_l/4)^2 dk/k.
+  const double w = 4.0 * std::numbers::pi * primordial_(k) * weight_dk / k;
+  const std::size_t top = std::min(l_max_, f_gamma.size() - 1);
+  for (std::size_t l = 2; l <= top; ++l) {
+    const double theta = 0.25 * f_gamma[l];
+    ct_[l] += w * theta * theta;
+  }
+  ++n_modes_;
+}
+
+void ClAccumulator::add_mode_polarization(
+    double k, double weight_dk, const std::vector<double>& g_gamma) {
+  const double w = 4.0 * std::numbers::pi * primordial_(k) * weight_dk / k;
+  const std::size_t top = std::min(l_max_, g_gamma.size() - 1);
+  for (std::size_t l = 2; l <= top; ++l) {
+    const double gl = 0.25 * g_gamma[l];
+    cp_[l] += w * gl * gl;
+  }
+}
+
+void ClAccumulator::add_mode_cross(double k, double weight_dk,
+                                   const std::vector<double>& f_gamma,
+                                   const std::vector<double>& g_gamma) {
+  const double w = 4.0 * std::numbers::pi * primordial_(k) * weight_dk / k;
+  const std::size_t top =
+      std::min({l_max_, f_gamma.size() - 1, g_gamma.size() - 1});
+  for (std::size_t l = 2; l <= top; ++l) {
+    cx_[l] += w * (0.25 * f_gamma[l]) * (0.25 * g_gamma[l]);
+  }
+}
+
+AngularSpectrum ClAccumulator::cross() const { return AngularSpectrum{cx_}; }
+
+AngularSpectrum ClAccumulator::temperature() const {
+  return AngularSpectrum{ct_};
+}
+
+AngularSpectrum ClAccumulator::polarization() const {
+  return AngularSpectrum{cp_};
+}
+
+double normalize_to_cobe_quadrupole(AngularSpectrum& spec, double q_rms_ps,
+                                    double t_cmb) {
+  PLINGER_REQUIRE(spec.cl.size() > 2 && spec.cl[2] > 0.0,
+                  "normalize_to_cobe_quadrupole: C_2 missing");
+  const double c2_target = (4.0 * std::numbers::pi / 5.0) *
+                           (q_rms_ps / t_cmb) * (q_rms_ps / t_cmb);
+  const double factor = c2_target / spec.cl[2];
+  for (double& c : spec.cl) c *= factor;
+  return factor;
+}
+
+}  // namespace plinger::spectra

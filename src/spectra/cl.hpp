@@ -1,0 +1,97 @@
+#pragma once
+
+/// CMB angular power spectrum assembly.
+///
+/// LINGER computes the full photon moment hierarchy of every k-mode to
+/// the present; the spectrum is then
+///
+///   C_l = 4 pi \int dln k  P(k) |Theta_l(k, tau0)|^2,
+///
+/// with Theta_l = F_gamma,l / 4 in the Ma & Bertschinger (1995) Legendre
+/// convention (no line-of-sight shortcut — the 1995 method).  The k-grid
+/// must resolve the ~pi/tau0 oscillation of Theta_l(k); the paper used up
+/// to 5000 k-points for l < 3000.
+///
+/// Normalization follows the paper's Figure 2: "normalized to the COBE
+/// Q_rms-PS", i.e. the quadrupole is pinned to
+/// C_2 = (4 pi / 5)(Q_rms-PS / T_cmb)^2.
+
+#include <cstddef>
+#include <vector>
+
+#include "spectra/primordial.hpp"
+
+namespace plinger::spectra {
+
+/// A computed spectrum: cl[l] for l = 0..l_max (entries l < 2 are zero).
+struct AngularSpectrum {
+  std::vector<double> cl;
+
+  std::size_t l_max() const { return cl.empty() ? 0 : cl.size() - 1; }
+
+  /// The conventional band power l(l+1) C_l / (2 pi).
+  double dl(std::size_t l) const {
+    return static_cast<double>(l) * (static_cast<double>(l) + 1.0) *
+           cl[l] / (2.0 * 3.14159265358979323846);
+  }
+};
+
+/// The k-grid LINGER-style C_l integration uses: uniform spacing
+/// dk = pi / (points_per_osc * tau0) from k_min ~ 0.25/tau0 up to
+/// k_max ~ margin * l_max / tau0.  Returns ascending k values.
+std::vector<double> make_cl_kgrid(std::size_t l_max, double tau0,
+                                  double points_per_osc = 2.5,
+                                  double k_margin = 1.25);
+
+/// Accumulates C_l from per-mode photon moments as workers deliver them
+/// (any order).  Each mode carries its trapezoid weight on the k-grid.
+class ClAccumulator {
+ public:
+  /// l_max: highest multipole of the output spectrum.
+  ClAccumulator(std::size_t l_max, PowerLawSpectrum primordial);
+
+  /// Add one mode.  f_gamma[l] = F_gamma,l(k, tau0) for l = 0..lmax(k)
+  /// (modes with lmax(k) < l contribute zero there, which is physical:
+  /// Theta_l(k) is negligible for l >> k tau0).  weight_dk is the mode's
+  /// k-integration weight (trapezoid bin width).
+  void add_mode(double k, double weight_dk,
+                const std::vector<double>& f_gamma);
+
+  /// Same for the polarization spectrum in the MB95 G_l convention.
+  void add_mode_polarization(double k, double weight_dk,
+                             const std::vector<double>& g_gamma);
+
+  /// Temperature-polarization cross spectrum
+  /// C_l^TG = 4 pi int dlnk P(k) (F_l/4)(G_l/4) (MB95 conventions; the
+  /// era's analogue of the modern TE spectrum).
+  void add_mode_cross(double k, double weight_dk,
+                      const std::vector<double>& f_gamma,
+                      const std::vector<double>& g_gamma);
+
+  /// Temperature spectrum accumulated so far (raw normalization).
+  AngularSpectrum temperature() const;
+
+  /// Polarization spectrum accumulated so far (raw normalization).
+  AngularSpectrum polarization() const;
+
+  /// Cross spectrum accumulated so far (raw normalization; may be
+  /// negative at a given l).
+  AngularSpectrum cross() const;
+
+  std::size_t modes_added() const { return n_modes_; }
+
+ private:
+  std::size_t l_max_;
+  PowerLawSpectrum primordial_;
+  std::vector<double> ct_, cp_, cx_;
+  std::size_t n_modes_ = 0;
+};
+
+/// Rescale a spectrum so that C_2 matches the COBE quadrupole
+/// C_2 = (4 pi / 5) (q_rms_ps / t_cmb)^2.  q_rms_ps in Kelvin (e.g.
+/// 18e-6), t_cmb in Kelvin.  Returns the applied factor, by which every
+/// other COBE-normalized quantity (P(k), sky maps) must also be scaled.
+double normalize_to_cobe_quadrupole(AngularSpectrum& spec, double q_rms_ps,
+                                    double t_cmb);
+
+}  // namespace plinger::spectra

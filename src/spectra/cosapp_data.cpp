@@ -1,0 +1,30 @@
+#include "spectra/cosapp_data.hpp"
+
+namespace plinger::spectra {
+
+namespace {
+// Values approximate the 1995 state of the field (see header comment).
+// The two COBE rows are the paper's "two leftmost points" (first- and
+// second-year analyses at an angular scale of ten degrees).
+constexpr BandPowerMeasurement kTable[] = {
+    {"COBE-1yr", 6.0, 2.5, 15.0, 30.0, 6.0, 6.0, false},
+    {"COBE-2yr", 8.0, 2.5, 20.0, 28.0, 4.0, 4.0, false},
+    {"FIRS", 10.0, 3.0, 30.0, 29.0, 8.0, 8.0, false},
+    {"Tenerife", 20.0, 13.0, 31.0, 34.0, 13.0, 15.0, false},
+    {"SP94", 68.0, 32.0, 110.0, 36.0, 11.0, 14.0, false},
+    {"Saskatoon", 69.0, 45.0, 105.0, 42.0, 10.0, 12.0, false},
+    {"Python", 91.0, 50.0, 135.0, 49.0, 11.0, 15.0, false},
+    {"ARGO", 98.0, 60.0, 140.0, 42.0, 9.0, 11.0, false},
+    {"MAX-GUM", 145.0, 85.0, 220.0, 49.0, 10.0, 13.0, false},
+    {"MSAM", 160.0, 95.0, 235.0, 46.0, 10.0, 13.0, false},
+    {"MAX-ID", 145.0, 85.0, 220.0, 33.0, 9.0, 12.0, false},
+    {"WhiteDish", 520.0, 360.0, 720.0, 75.0, 0.0, 0.0, true},
+    {"OVRO-22", 600.0, 400.0, 850.0, 59.0, 0.0, 0.0, true},
+};
+}  // namespace
+
+std::span<const BandPowerMeasurement> cosapp_measurements() {
+  return std::span<const BandPowerMeasurement>(kTable);
+}
+
+}  // namespace plinger::spectra

@@ -1,0 +1,35 @@
+#pragma once
+
+/// 1994/95-era CMB anisotropy band-power measurements.
+///
+/// Figure 2 of the paper overlays the PLINGER standard-CDM curve on "the
+/// COSAPP software package" compilation of experimental points (COBE,
+/// balloon and ground-based experiments) distributed by Dave &
+/// Steinhardt at Penn.  That package is not retrievable offline, so this
+/// table carries representative values of the same era's published
+/// detections (COBE 2-year, FIRS, Tenerife, South Pole 94, Saskatoon,
+/// Python, ARGO, MAX, MSAM) as compiled in the contemporary reviews
+/// (Steinhardt 1995; Scott, Silk & White 1995).  Central values and
+/// errors are approximate at the ~10-20% level — sufficient for the
+/// figure's role of bracketing the theory curve — and are documented as
+/// a substitution in DESIGN.md.
+
+#include <span>
+
+namespace plinger::spectra {
+
+/// One experimental band power: delta_T = sqrt(l(l+1) C_l / 2 pi) T_cmb
+/// in micro-Kelvin at the effective multipole of the experiment's window.
+struct BandPowerMeasurement {
+  const char* experiment;
+  double l_eff;       ///< window center
+  double l_lo, l_hi;  ///< approximate window half-power range
+  double delta_t_uk;  ///< band power (micro-K); for limits, the 95% bound
+  double err_minus, err_plus;  ///< 1-sigma errors (micro-K)
+  bool upper_limit;            ///< true for non-detections
+};
+
+/// The compiled measurement table (see file comment for provenance).
+std::span<const BandPowerMeasurement> cosapp_measurements();
+
+}  // namespace plinger::spectra

@@ -1,0 +1,107 @@
+#include "spectra/matterpower.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "math/quadrature.hpp"
+
+namespace plinger::spectra {
+
+MatterPower::MatterPower(PowerLawSpectrum primordial)
+    : primordial_(primordial) {}
+
+void MatterPower::add_mode(double k, double delta_m) {
+  PLINGER_REQUIRE(!finalized_, "MatterPower: add_mode after finalize");
+  PLINGER_REQUIRE(k > 0.0, "MatterPower: k must be positive");
+  k_.push_back(k);
+  delta_.push_back(delta_m);
+}
+
+void MatterPower::finalize(double cobe_factor) {
+  PLINGER_REQUIRE(k_.size() >= 4, "MatterPower: too few modes");
+  PLINGER_REQUIRE(!finalized_, "MatterPower: already finalized");
+  // Sort by k.
+  std::vector<std::size_t> idx(k_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [this](std::size_t a, std::size_t b) { return k_[a] < k_[b]; });
+  std::vector<double> lnk(k_.size()), lnp(k_.size()), ks(k_.size()),
+      ds(k_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const double k = k_[idx[i]];
+    const double d = delta_[idx[i]];
+    ks[i] = k;
+    ds[i] = d;
+    lnk[i] = std::log(k);
+    const double p = 2.0 * std::numbers::pi * std::numbers::pi /
+                     (k * k * k) * primordial_(k) * d * d * cobe_factor;
+    PLINGER_REQUIRE(p > 0.0, "MatterPower: non-positive P(k)");
+    lnp[i] = std::log(p);
+  }
+  k_ = std::move(ks);
+  delta_ = std::move(ds);
+  lnp_of_lnk_ = plinger::math::CubicSpline(lnk, lnp);
+  // Reference for the transfer normalization: delta_m / k^2 -> const as
+  // k -> 0 in linear theory.  Derived from the *normalized* P so that
+  // transfer() is invariant under the COBE factor and equals 1 at k_min.
+  const double k0 = k_.front();
+  const double d2_ref = std::exp(lnp.front()) * k0 * k0 * k0 /
+                        (2.0 * std::numbers::pi * std::numbers::pi) /
+                        primordial_(k0);
+  t_ref_ = std::sqrt(d2_ref) / (k0 * k0);
+  finalized_ = true;
+}
+
+double MatterPower::operator()(double k) const {
+  PLINGER_REQUIRE(finalized_, "MatterPower: call finalize() first");
+  return std::exp(lnp_of_lnk_(std::log(k)));
+}
+
+double MatterPower::transfer(double k) const {
+  PLINGER_REQUIRE(finalized_, "MatterPower: call finalize() first");
+  // T(k) = (delta_m(k)/k^2) / (delta_m(k0)/k0^2); recover |delta_m| from
+  // the spline for interpolated k.
+  const double p = (*this)(k);
+  const double d2 = p * k * k * k /
+                    (2.0 * std::numbers::pi * std::numbers::pi) /
+                    primordial_(k);
+  return std::sqrt(d2) / (k * k) / t_ref_;
+}
+
+double MatterPower::sigma_r(double r_mpc) const {
+  PLINGER_REQUIRE(finalized_, "MatterPower: call finalize() first");
+  PLINGER_REQUIRE(r_mpc > 0.0, "sigma_r: radius must be positive");
+  auto integrand = [this, r_mpc](double lnk) {
+    const double k = std::exp(lnk);
+    const double x = k * r_mpc;
+    // Top-hat window W(x) = 3 (sin x - x cos x)/x^3 (series for small x).
+    double w;
+    if (x < 1e-3) {
+      w = 1.0 - x * x / 10.0;
+    } else {
+      w = 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+    }
+    const double p = std::exp(lnp_of_lnk_(lnk));
+    return k * k * k * p / (2.0 * std::numbers::pi * std::numbers::pi) *
+           w * w;
+  };
+  const double sigma2 = plinger::math::romberg(
+      integrand, std::log(k_min()), std::log(k_max()), 1e-7);
+  return std::sqrt(sigma2);
+}
+
+double MatterPower::k_min() const { return k_.front(); }
+double MatterPower::k_max() const { return k_.back(); }
+
+double bbks_transfer(double k_mpc, double gamma_shape, double h) {
+  // q in (h Mpc^-1) units divided by Gamma.
+  const double q = k_mpc / h / gamma_shape;
+  if (q < 1e-9) return 1.0;
+  const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                      std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+  return std::log(1.0 + 2.34 * q) / (2.34 * q) * std::pow(poly, -0.25);
+}
+
+}  // namespace plinger::spectra

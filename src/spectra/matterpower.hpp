@@ -1,0 +1,64 @@
+#pragma once
+
+/// Linear matter power spectrum — LINGER's second headline output
+/// (abstract: "the linear power spectrum of matter fluctuations").
+///
+/// With the same unit-amplitude initial conditions as the C_l pipeline,
+///   P(k) = (2 pi^2 / k^3) P_prim(k) |delta_m(k, tau0)|^2 * norm,
+/// where norm is the COBE factor returned by
+/// normalize_to_cobe_quadrupole(), making sigma_8 a genuine prediction of
+/// the COBE-normalized model (the 1995 workflow).
+
+#include <cstddef>
+#include <vector>
+
+#include "math/spline.hpp"
+#include "spectra/primordial.hpp"
+
+namespace plinger::spectra {
+
+/// Accumulates (k, delta_m) transfer samples and serves P(k), sigma_R and
+/// the transfer function.
+class MatterPower {
+ public:
+  explicit MatterPower(PowerLawSpectrum primordial);
+
+  /// Add one mode's present-day matter overdensity (unit-C IC amplitude).
+  /// Modes may arrive in any order.
+  void add_mode(double k, double delta_m);
+
+  /// Freeze and build the interpolant; apply the COBE normalization
+  /// factor obtained from the temperature spectrum.
+  void finalize(double cobe_factor = 1.0);
+
+  /// P(k) in Mpc^3 x (normalization units).  Valid after finalize().
+  double operator()(double k) const;
+
+  /// rms mass fluctuation in a top-hat sphere of radius r_mpc:
+  /// sigma_R^2 = int dlnk k^3 P(k)/(2 pi^2) W^2(kR).
+  double sigma_r(double r_mpc) const;
+
+  /// Conventional transfer function T(k) = sqrt(P(k) k^-n_s) normalized
+  /// to T -> 1 as k -> 0 (uses the smallest tabulated k as reference).
+  double transfer(double k) const;
+
+  /// Number of modes added.
+  std::size_t size() const { return k_.size(); }
+
+  double k_min() const;
+  double k_max() const;
+
+ private:
+  PowerLawSpectrum primordial_;
+  std::vector<double> k_, delta_;
+  plinger::math::CubicSpline lnp_of_lnk_;
+  double t_ref_ = 0.0;
+  bool finalized_ = false;
+};
+
+/// The Bardeen-Bond-Kaiser-Szalay (1986) CDM transfer-function fit with
+/// shape parameter Gamma = Omega_m h (the standard 1995-era analytic
+/// comparison for a LINGER transfer function).
+double bbks_transfer(double k_mpc, double gamma_shape, double h);
+
+}  // namespace plinger::spectra

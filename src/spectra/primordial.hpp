@@ -1,0 +1,25 @@
+#pragma once
+
+/// Primordial power spectrum.  The paper's production runs use the
+/// scale-invariant n_s = 1 (Harrison-Zel'dovich) spectrum of "standard
+/// Cold Dark Matter initial conditions"; the amplitude is fixed a
+/// posteriori by the COBE Q_rms-PS normalization, so the raw amplitude
+/// here is an arbitrary reference.
+
+#include <cmath>
+
+namespace plinger::spectra {
+
+/// Power-law dimensionless curvature spectrum
+/// P(k) = amplitude * (k / k_pivot)^(n_s - 1).
+struct PowerLawSpectrum {
+  double amplitude = 1.0;
+  double n_s = 1.0;
+  double k_pivot = 0.05;  ///< Mpc^-1 (reference scale only)
+
+  double operator()(double k) const {
+    return amplitude * std::pow(k / k_pivot, n_s - 1.0);
+  }
+};
+
+}  // namespace plinger::spectra

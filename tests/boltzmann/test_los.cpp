@@ -1,0 +1,97 @@
+#include "boltzmann/los.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pb = plinger::boltzmann;
+namespace pc = plinger::cosmo;
+
+namespace {
+struct World {
+  pc::Background bg{pc::CosmoParams::standard_cdm()};
+  pc::Recombination rec{bg};
+  pb::PerturbationConfig cfg;
+  std::vector<double> taus;
+  World() {
+    cfg.rtol = 1e-5;
+    taus = pb::los_sample_taus(bg, rec);
+  }
+};
+const World& world() {
+  static World w;
+  return w;
+}
+}  // namespace
+
+TEST(LineOfSight, SampleTimesCoverVisibilityAndIsw) {
+  const auto& w = world();
+  ASSERT_GT(w.taus.size(), 100u);
+  EXPECT_LT(w.taus.front(), w.rec.tau_star());
+  EXPECT_GT(w.taus.back(), 0.9 * w.bg.conformal_age());
+  for (std::size_t i = 1; i < w.taus.size(); ++i) {
+    EXPECT_GT(w.taus[i], w.taus[i - 1]);
+  }
+  // Dense through the visibility peak: spacing there well under sigma.
+  const double tau_star = w.rec.tau_star();
+  for (std::size_t i = 1; i < w.taus.size(); ++i) {
+    if (std::abs(w.taus[i] - tau_star) < 10.0) {
+      EXPECT_LT(w.taus[i] - w.taus[i - 1], 5.0);
+    }
+  }
+}
+
+TEST(LineOfSight, MatchesFullBoltzmannAtPercentLevel) {
+  const auto& w = world();
+  pb::ModeEvolver ev(w.bg, w.rec, w.cfg);
+  const double k = 0.02;
+
+  pb::EvolveRequest full_req;
+  full_req.k = k;
+  const auto full = ev.evolve(full_req);
+
+  pb::EvolveRequest los_req;
+  los_req.k = k;
+  los_req.lmax_photon = 40;
+  los_req.sample_taus = w.taus;
+  const auto los_mode = ev.evolve(los_req);
+  const auto f_los = pb::los_f_gamma(w.bg, w.rec, los_mode, 220);
+
+  // Compare where Theta_l is not near a zero crossing.
+  int checked = 0;
+  for (std::size_t l = 40; l <= 220; l += 20) {
+    const double a = full.f_gamma[l], b = f_los[l];
+    if (std::abs(a) < 0.3 * 2e-2) continue;  // skip small amplitudes
+    EXPECT_NEAR(b / a, 1.0, 0.08) << "l=" << l;
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}
+
+TEST(LineOfSight, ShortHierarchyIsMuchCheaper) {
+  const auto& w = world();
+  pb::ModeEvolver ev(w.bg, w.rec, w.cfg);
+  const double k = 0.05;
+  pb::EvolveRequest full_req;
+  full_req.k = k;
+  const auto full = ev.evolve(full_req);
+  pb::EvolveRequest los_req;
+  los_req.k = k;
+  los_req.lmax_photon = 40;
+  los_req.sample_taus = w.taus;
+  const auto los_mode = ev.evolve(los_req);
+  // The RHS is ~ (k tau0 / 40)x smaller; require at least 3x fewer flops.
+  EXPECT_LT(static_cast<double>(los_mode.flops),
+            static_cast<double>(full.flops) / 3.0);
+}
+
+TEST(LineOfSight, RequiresSources) {
+  const auto& w = world();
+  pb::ModeResult empty;
+  empty.k = 0.01;
+  empty.tau_end = w.bg.conformal_age();
+  EXPECT_THROW(pb::los_f_gamma(w.bg, w.rec, empty, 50),
+               plinger::InvalidArgument);
+}

@@ -1,0 +1,141 @@
+#include "cosmo/background.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pc = plinger::cosmo;
+
+namespace {
+const pc::Background& scdm() {
+  static pc::Background bg(pc::CosmoParams::standard_cdm());
+  return bg;
+}
+}  // namespace
+
+TEST(Background, FriedmannClosureToday) {
+  const auto& bg = scdm();
+  // (a'/a)^2 at a=1 equals H0^2 for a flat model (conformal = cosmic at
+  // a=1).
+  const double h0 = bg.params().hubble0();
+  EXPECT_NEAR(bg.adotoa(1.0), h0, 1e-6 * h0);
+}
+
+TEST(Background, GrhoComponentScaling) {
+  const auto& bg = scdm();
+  const auto g1 = bg.grho(1.0);
+  const auto g2 = bg.grho(0.5);
+  // matter: 8 pi G a^2 rho ~ 1/a; radiation ~ 1/a^2.
+  EXPECT_NEAR(g2.cdm / g1.cdm, 2.0, 1e-12);
+  EXPECT_NEAR(g2.baryon / g1.baryon, 2.0, 1e-12);
+  EXPECT_NEAR(g2.photon / g1.photon, 4.0, 1e-12);
+  EXPECT_NEAR(g2.nu_massless / g1.nu_massless, 4.0, 1e-12);
+}
+
+TEST(Background, RadiationDominatesEarly) {
+  const auto& bg = scdm();
+  const auto g = bg.grho(1e-7);
+  EXPECT_GT(g.photon + g.nu_massless, 100.0 * (g.cdm + g.baryon));
+}
+
+TEST(Background, EqualityScale) {
+  const auto& bg = scdm();
+  // a_eq = Omega_r/Omega_m; for standard CDM ~ 4.2e-4/(1) x ... check
+  // against the defining property rho_r(a_eq) = rho_m(a_eq).
+  const auto g = bg.grho(bg.a_equality());
+  EXPECT_NEAR((g.photon + g.nu_massless) / (g.cdm + g.baryon), 1.0, 1e-6);
+  EXPECT_NEAR(bg.a_equality(), 1.68e-4 / 0.25 / 4.2, 0.3e-4);
+}
+
+TEST(Background, ConformalAgeStandardCdm) {
+  // Matter-dominated flat universe: tau0 ~ 2/H0 = 2*5995.8 ~ 11991 Mpc,
+  // slightly reduced by the radiation era.  Known value ~ 11840 Mpc.
+  const auto& bg = scdm();
+  EXPECT_GT(bg.conformal_age(), 11000.0);
+  EXPECT_LT(bg.conformal_age(), 12000.0);
+  // Radiation reduces tau0 below the pure matter value.
+  EXPECT_LT(bg.conformal_age(), 2.0 / bg.params().hubble0());
+}
+
+TEST(Background, TauOfAInvertsAOfTau) {
+  const auto& bg = scdm();
+  for (double a : {1e-8, 1e-6, 1e-4, 1e-2, 0.5, 1.0}) {
+    const double tau = bg.tau_of_a(a);
+    EXPECT_NEAR(bg.a_of_tau(tau), a, 1e-6 * a) << "a=" << a;
+  }
+}
+
+TEST(Background, TauMonotonicInA) {
+  const auto& bg = scdm();
+  double prev = 0.0;
+  for (double la = -9.0; la <= 0.0; la += 0.1) {
+    const double tau = bg.tau_of_a(std::pow(10.0, la));
+    EXPECT_GT(tau, prev);
+    prev = tau;
+  }
+}
+
+TEST(Background, RadiationEraLinearGrowth) {
+  // a ~ tau in the radiation era: tau(2a)/tau(a) ~ 2.
+  const auto& bg = scdm();
+  EXPECT_NEAR(bg.tau_of_a(2e-8) / bg.tau_of_a(1e-8), 2.0, 1e-3);
+}
+
+TEST(Background, MatterEraSquareRootGrowth) {
+  // a ~ tau^2 in the matter era: tau(4a)/tau(a) ~ 2.
+  const auto& bg = scdm();
+  // tau ~ sqrt(a + a_eq) - sqrt(a_eq): the small radiation correction
+  // pushes the ratio slightly above 2.
+  EXPECT_NEAR(bg.tau_of_a(0.4) / bg.tau_of_a(0.1), 2.04, 0.02);
+}
+
+TEST(Background, PressureOfRadiation) {
+  const auto& bg = scdm();
+  const double a = 1e-7;
+  const auto g = bg.grho(a);
+  EXPECT_NEAR(bg.gpres(a), (g.photon + g.nu_massless) / 3.0,
+              1e-3 * bg.gpres(a));
+}
+
+TEST(Background, AdotdotaSignFlipsWithLambda) {
+  // Deceleration in matter domination: a''/a = (grho-3gpres)/6 > 0 in
+  // conformal time for matter (gpres ~ 0), and even larger with Lambda.
+  const auto& bg = scdm();
+  EXPECT_GT(bg.adotdota_over_a(0.5), 0.0);
+  // Radiation era: grho = 3 gpres so a'' ~ 0.
+  const double early = bg.adotdota_over_a(1e-8);
+  EXPECT_LT(std::abs(early), 0.01 * bg.grho(1e-8).total());
+}
+
+TEST(Background, LambdaCdmAgeIsLarger) {
+  pc::Background lcdm(pc::CosmoParams::lambda_cdm());
+  // Conformal age in h^-1 units is larger for Lambda-dominated models.
+  const double age_scdm =
+      scdm().conformal_age() * scdm().params().hubble0();
+  const double age_lcdm = lcdm.conformal_age() * lcdm.params().hubble0();
+  EXPECT_GT(age_lcdm, age_scdm);
+}
+
+TEST(Background, MassiveNeutrinoModel) {
+  pc::Background mdm(pc::CosmoParams::mixed_dark_matter());
+  ASSERT_NE(mdm.nu(), nullptr);
+  // Omega_nu = 0.2 with one species at h=0.5 -> m ~ 0.2*93.1*0.25 ~ 4.7 eV.
+  EXPECT_GT(mdm.nu_mass_ev(), 3.5);
+  EXPECT_LT(mdm.nu_mass_ev(), 6.0);
+  // Massive nu density today ~ Omega_nu * grhom.
+  const auto g = mdm.grho(1.0);
+  const double grhom = 3.0 * std::pow(mdm.params().hubble0(), 2);
+  EXPECT_NEAR(g.nu_massive / grhom, 0.2, 2e-3);
+  // At early times it scales like radiation (relativistic).
+  const auto ge = mdm.grho(1e-8);
+  EXPECT_NEAR(ge.nu_massive / ge.nu_massless,
+              0.5,  // one massive species vs two massless
+              0.01);
+}
+
+TEST(Background, FlatnessSumToday) {
+  const auto& bg = scdm();
+  const auto g = bg.grho(1.0);
+  const double grhom = 3.0 * std::pow(bg.params().hubble0(), 2);
+  EXPECT_NEAR(g.total() / grhom, 1.0, 1e-6);
+}

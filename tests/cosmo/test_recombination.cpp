@@ -1,0 +1,143 @@
+#include "cosmo/recombination.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pc = plinger::cosmo;
+
+namespace {
+struct Fixture {
+  pc::Background bg{pc::CosmoParams::standard_cdm()};
+  pc::Recombination rec{bg};
+};
+const Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+}  // namespace
+
+TEST(Recombination, FullyIonizedEarly) {
+  const auto& f = fx();
+  const double f_he = f.rec.f_helium();
+  // At z = 10^5 hydrogen and helium are fully ionized: x_e = 1 + 2 f_He.
+  EXPECT_NEAR(f.rec.x_e(1e-5), 1.0 + 2.0 * f_he, 1e-3);
+}
+
+TEST(Recombination, HeliumFraction) {
+  // Y = 0.24 -> f_He = 0.24/(4*0.76) ~ 0.0789.
+  EXPECT_NEAR(fx().rec.f_helium(), 0.0789, 1e-3);
+}
+
+TEST(Recombination, RecombinationHappensNearZ1100) {
+  const auto& f = fx();
+  EXPECT_GT(f.rec.z_star(), 1000.0);
+  EXPECT_LT(f.rec.z_star(), 1250.0);
+}
+
+TEST(Recombination, FreezeOutResidualIonization) {
+  const auto& f = fx();
+  const double xe_today = f.rec.x_e(1.0);
+  // Residual ionization freezes out at a few 1e-4 (no reionization in the
+  // 1995 standard CDM runs).
+  EXPECT_GT(xe_today, 1e-5);
+  EXPECT_LT(xe_today, 5e-3);
+}
+
+TEST(Recombination, XeIsMonotoneDecreasingThroughRecombination) {
+  const auto& f = fx();
+  double prev = 10.0;
+  for (double z = 8000.0; z > 100.0; z /= 1.15) {
+    const double xe = f.rec.x_e(1.0 / (1.0 + z));
+    EXPECT_LE(xe, prev * (1.0 + 1e-10)) << "z=" << z;
+    prev = xe;
+  }
+}
+
+TEST(Recombination, SahaAgreementAtHighZ) {
+  // At z = 1500 the ODE solution should still track Saha within a few
+  // percent (departure grows below that).
+  const auto& f = fx();
+  const double xe = f.rec.x_e(1.0 / 1501.0);
+  EXPECT_GT(xe, 0.1);
+  EXPECT_LT(xe, 1.0);
+}
+
+TEST(Recombination, BaryonTemperatureTracksThenFalls) {
+  const auto& f = fx();
+  const double t_cmb = f.bg.params().t_cmb;
+  // Tightly coupled at z = 1000: T_b ~ T_gamma.
+  EXPECT_NEAR(f.rec.t_baryon(1e-3), t_cmb * 1000.0, 0.02 * t_cmb * 1000.0);
+  // Decoupled by z ~ 50: T_b < T_gamma (adiabatic cooling ~ a^-2).
+  EXPECT_LT(f.rec.t_baryon(0.02), t_cmb / 0.02);
+}
+
+TEST(Recombination, SoundSpeedIsSmallAndPositive) {
+  const auto& f = fx();
+  for (double a : {1e-6, 1e-4, 1e-3, 0.1, 1.0}) {
+    const double cs2 = f.rec.cs2_baryon(a);
+    EXPECT_GT(cs2, 0.0) << a;
+    EXPECT_LT(cs2, 1e-6) << a;  // baryons are cold in c=1 units
+  }
+}
+
+TEST(Recombination, OpacityScalesAsInverseASquaredWhenIonized) {
+  const auto& f = fx();
+  const double r = f.rec.opacity(1e-5) / f.rec.opacity(1e-4);
+  EXPECT_NEAR(r, 100.0, 1.0);
+}
+
+TEST(Recombination, KappaDecreasesTowardToday) {
+  const auto& f = fx();
+  const double tau_rec = f.rec.tau_star();
+  EXPECT_GT(f.rec.kappa(0.5 * tau_rec), f.rec.kappa(tau_rec));
+  EXPECT_GT(f.rec.kappa(tau_rec), f.rec.kappa(2.0 * tau_rec));
+  EXPECT_NEAR(f.rec.kappa(f.bg.conformal_age()), 0.0, 1e-12);
+}
+
+TEST(Recombination, KappaIsUnityNearVisibilityPeak) {
+  const auto& f = fx();
+  // kappa(tau_star) ~ O(1) by definition of last scattering.
+  const double k = f.rec.kappa(f.rec.tau_star());
+  EXPECT_GT(k, 0.2);
+  EXPECT_LT(k, 5.0);
+}
+
+TEST(Recombination, VisibilityIsNormalized) {
+  const auto& f = fx();
+  // int g dtau = 1 - e^{-kappa(0)} ~ 1.
+  const double tau0 = f.bg.conformal_age();
+  double integral = 0.0;
+  const int n = 20000;
+  const double t_lo = 0.2 * f.rec.tau_star();
+  for (int i = 0; i < n; ++i) {
+    const double t = t_lo + (tau0 - t_lo) * (i + 0.5) / n;
+    integral += f.rec.visibility(t) * (tau0 - t_lo) / n;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Recombination, VisibilityPeaksAtTauStar) {
+  const auto& f = fx();
+  const double g_peak = f.rec.visibility(f.rec.tau_star());
+  EXPECT_GT(g_peak, f.rec.visibility(0.7 * f.rec.tau_star()));
+  EXPECT_GT(g_peak, f.rec.visibility(1.4 * f.rec.tau_star()));
+}
+
+TEST(Recombination, SoundHorizonAtRecombination) {
+  const auto& f = fx();
+  // For standard CDM the sound horizon at recombination is ~ 100-160 Mpc
+  // (smaller than the LCDM concordance value because h=0.5, Om=1).
+  const double rs = f.rec.sound_horizon(f.rec.tau_star());
+  EXPECT_GT(rs, 80.0);
+  EXPECT_LT(rs, 200.0);
+  // And below the free-streaming bound tau/sqrt(3).
+  EXPECT_LT(rs, f.rec.tau_star() / std::sqrt(3.0));
+}
+
+TEST(Recombination, LambdaCdmRecombinesAtSimilarRedshift) {
+  pc::Background bg(pc::CosmoParams::lambda_cdm());
+  pc::Recombination rec(bg);
+  EXPECT_GT(rec.z_star(), 1000.0);
+  EXPECT_LT(rec.z_star(), 1250.0);
+}

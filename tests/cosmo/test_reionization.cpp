@@ -1,0 +1,68 @@
+#include "cosmo/recombination.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pc = plinger::cosmo;
+
+namespace {
+struct Fixture {
+  pc::Background bg{pc::CosmoParams::standard_cdm()};
+  pc::Recombination no_reion{bg};
+  pc::Recombination reion{bg, [] {
+                            pc::Recombination::Options o;
+                            o.z_reion = 20.0;
+                            return o;
+                          }()};
+};
+const Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+}  // namespace
+
+TEST(Reionization, XeRisesBelowZReion) {
+  const auto& f = fx();
+  const double f_he = f.reion.f_helium();
+  // Above z_reion: unchanged freeze-out tail.
+  EXPECT_NEAR(f.reion.x_e(1.0 / 101.0), f.no_reion.x_e(1.0 / 101.0),
+              1e-3);
+  // Below: fully ionized H + singly ionized He.
+  EXPECT_NEAR(f.reion.x_e(1.0 / 6.0), 1.0 + f_he, 1e-3);
+  EXPECT_NEAR(f.reion.x_e(1.0), 1.0 + f_he, 1e-3);
+}
+
+TEST(Reionization, TransitionIsSmooth) {
+  const auto& f = fx();
+  double prev = f.reion.x_e(1.0 / 40.0);
+  for (double z = 39.0; z > 5.0; z -= 0.5) {
+    const double xe = f.reion.x_e(1.0 / (1.0 + z));
+    EXPECT_GE(xe, prev - 1e-6) << z;  // monotone rise through reionization
+    prev = xe;
+  }
+}
+
+TEST(Reionization, AddsOpticalDepth) {
+  const auto& f = fx();
+  // kappa at some post-recombination epoch gains the reionization
+  // contribution; for z_re = 20 in standard CDM it is substantial.
+  const double tau_probe = 0.3 * f.bg.conformal_age();
+  // For z_re = 20 in standard CDM (Omega_b h^2 = 0.0125) the full
+  // reionization optical depth is a few percent.
+  const double dk = f.reion.kappa(tau_probe) - f.no_reion.kappa(tau_probe);
+  EXPECT_GT(dk, 0.01);
+  EXPECT_LT(dk, 0.2);
+}
+
+TEST(Reionization, RecombinationEpochUntouched) {
+  const auto& f = fx();
+  EXPECT_NEAR(f.reion.z_star(), f.no_reion.z_star(), 2.0);
+  EXPECT_NEAR(f.reion.x_e(1.0 / 1101.0), f.no_reion.x_e(1.0 / 1101.0),
+              1e-6);
+}
+
+TEST(Reionization, DisabledByDefault) {
+  const auto& f = fx();
+  EXPECT_LT(f.no_reion.x_e(1.0), 1e-2);
+}

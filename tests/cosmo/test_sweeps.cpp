@@ -1,0 +1,109 @@
+// Property sweeps over the cosmological parameter space: invariants that
+// must hold for any sane 1995-era model, parameterized with gtest.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cosmo/recombination.hpp"
+
+namespace pc = plinger::cosmo;
+
+namespace {
+pc::CosmoParams model(double h, double omega_b) {
+  pc::CosmoParams p = pc::CosmoParams::standard_cdm();
+  p.h = h;
+  p.omega_b = omega_b;
+  p.omega_c = 1.0 - p.omega_b - p.omega_gamma() - p.omega_nu_massless();
+  return p;
+}
+}  // namespace
+
+class CosmoSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(CosmoSweep, BackgroundInvariants) {
+  const auto [h, omega_b] = GetParam();
+  const pc::Background bg(model(h, omega_b));
+
+  // Flatness at every epoch (flat models: total grho = 3 (a'/a)^2 by
+  // construction; check the budget today).
+  const double grhom = 3.0 * bg.params().hubble0() * bg.params().hubble0();
+  EXPECT_NEAR(bg.grho(1.0).total() / grhom, 1.0, 1e-6);
+
+  // Conformal age ~ 2/H0 for Omega=1 models, shrinking with h.
+  EXPECT_GT(bg.conformal_age(), 1.7 / bg.params().hubble0());
+  EXPECT_LT(bg.conformal_age(), 2.0 / bg.params().hubble0());
+
+  // Equality scale from the density budget.
+  const auto g_eq = bg.grho(bg.a_equality());
+  EXPECT_NEAR((g_eq.photon + g_eq.nu_massless) / (g_eq.cdm + g_eq.baryon),
+              1.0, 1e-6);
+
+  // tau(a) invertible on a wide range.
+  for (double a : {1e-7, 1e-4, 0.3}) {
+    EXPECT_NEAR(bg.a_of_tau(bg.tau_of_a(a)), a, 1e-6 * a);
+  }
+}
+
+TEST_P(CosmoSweep, RecombinationInvariants) {
+  const auto [h, omega_b] = GetParam();
+  const pc::Background bg(model(h, omega_b));
+  const pc::Recombination rec(bg);
+
+  // Last scattering sits near z ~ 1100 across the whole era-parameter
+  // range (weak dependence on h and omega_b).
+  EXPECT_GT(rec.z_star(), 1020.0);
+  EXPECT_LT(rec.z_star(), 1260.0);
+
+  // Residual ionization: more baryons -> more recombination -> lower xe.
+  const double xe0 = rec.x_e(1.0);
+  EXPECT_GT(xe0, 1e-5);
+  EXPECT_LT(xe0, 1e-2);
+
+  // Visibility integrates to ~1.
+  const double tau0 = bg.conformal_age();
+  double integral = 0.0;
+  const int n = 4000;
+  const double t_lo = 0.2 * rec.tau_star();
+  for (int i = 0; i < n; ++i) {
+    const double t = t_lo + (tau0 - t_lo) * (i + 0.5) / n;
+    integral += rec.visibility(t) * (tau0 - t_lo) / n;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.05);
+
+  // Sound horizon below the light horizon.
+  EXPECT_LT(rec.sound_horizon(rec.tau_star()),
+            rec.tau_star() / std::sqrt(3.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EraParameterSpace, CosmoSweep,
+    ::testing::Values(std::pair{0.4, 0.03}, std::pair{0.5, 0.05},
+                      std::pair{0.5, 0.08}, std::pair{0.65, 0.04},
+                      std::pair{0.8, 0.02}, std::pair{1.0, 0.05}));
+
+TEST(CosmoSweepRelations, MoreBaryonsLowerResidualIonization) {
+  const pc::Background lo(model(0.5, 0.03));
+  const pc::Background hi(model(0.5, 0.09));
+  const pc::Recombination rec_lo(lo);
+  const pc::Recombination rec_hi(hi);
+  EXPECT_GT(rec_lo.x_e(1.0), rec_hi.x_e(1.0));
+}
+
+TEST(CosmoSweepRelations, HigherHShortensConformalAgeInMpc) {
+  const pc::Background h05(model(0.5, 0.05));
+  const pc::Background h08(model(0.8, 0.05));
+  EXPECT_GT(h05.conformal_age(), h08.conformal_age());
+}
+
+TEST(CosmoSweepRelations, SoundHorizonShrinksWithBaryons) {
+  const pc::Background lo(model(0.5, 0.03));
+  const pc::Background hi(model(0.5, 0.09));
+  const pc::Recombination rec_lo(lo);
+  const pc::Recombination rec_hi(hi);
+  // Heavier baryon loading slows the photon-baryon sound speed.
+  EXPECT_GT(rec_lo.sound_horizon(rec_lo.tau_star()) /
+                rec_hi.sound_horizon(rec_hi.tau_star()),
+            1.0);
+}

@@ -1,0 +1,75 @@
+#include "math/bessel.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pm = plinger::math;
+
+TEST(SphBessel, ClosedFormsLowOrder) {
+  for (double x : {0.1, 1.0, 5.0, 20.0, 123.4}) {
+    EXPECT_NEAR(pm::sph_bessel_j(0, x), std::sin(x) / x, 1e-13);
+    EXPECT_NEAR(pm::sph_bessel_j(1, x),
+                std::sin(x) / (x * x) - std::cos(x) / x, 1e-13);
+    const double j2 = (3.0 / (x * x) - 1.0) * std::sin(x) / x -
+                      3.0 * std::cos(x) / (x * x);
+    EXPECT_NEAR(pm::sph_bessel_j(2, x), j2, 1e-11);
+  }
+}
+
+TEST(SphBessel, SmallArgumentSeries) {
+  // j_l(x) ~ x^l/(2l+1)!! for x -> 0.
+  EXPECT_NEAR(pm::sph_bessel_j(0, 1e-6), 1.0, 1e-12);
+  EXPECT_NEAR(pm::sph_bessel_j(1, 1e-6), 1e-6 / 3.0, 1e-18);
+  EXPECT_NEAR(pm::sph_bessel_j(2, 1e-4), 1e-8 / 15.0, 1e-17);
+  EXPECT_EQ(pm::sph_bessel_j(10, 0.0), 0.0);
+  EXPECT_EQ(pm::sph_bessel_j(0, 0.0), 1.0);
+}
+
+TEST(SphBessel, RecurrenceIdentityHolds) {
+  // j_{l-1}(x) + j_{l+1}(x) = (2l+1)/x j_l(x).
+  for (double x : {0.5, 3.0, 30.0, 300.0}) {
+    std::vector<double> j(150);
+    pm::sph_bessel_j_array(x, j);
+    for (std::size_t l = 1; l + 1 < j.size(); ++l) {
+      const double lhs = j[l - 1] + j[l + 1];
+      const double rhs = (2.0 * l + 1.0) / x * j[l];
+      EXPECT_NEAR(lhs, rhs, 1e-10 * (1.0 + std::abs(rhs))) << x << " " << l;
+    }
+  }
+}
+
+TEST(SphBessel, SumRule) {
+  // sum_l (2l+1) j_l^2(x) = 1 for any x.
+  for (double x : {1.0, 10.0, 50.0}) {
+    std::vector<double> j(static_cast<std::size_t>(x) + 60);
+    pm::sph_bessel_j_array(x, j);
+    double sum = 0.0;
+    for (std::size_t l = 0; l < j.size(); ++l) {
+      sum += (2.0 * l + 1.0) * j[l] * j[l];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(SphBessel, ExponentiallySmallBeyondTurningPoint) {
+  // For l >> x, j_l(x) is tiny: check magnitude ordering.
+  std::vector<double> j(101);
+  pm::sph_bessel_j_array(10.0, j);
+  EXPECT_LT(std::abs(j[60]), 1e-30);
+  EXPECT_LT(std::abs(j[100]), std::abs(j[60]));
+  EXPECT_GT(std::abs(j[10]), 1e-3);
+}
+
+TEST(SphBessel, KnownHighPrecisionValues) {
+  // Reference values from the standard literature / scipy.
+  EXPECT_NEAR(pm::sph_bessel_j(5, 10.0), -0.05553451162145218, 1e-12);
+  EXPECT_NEAR(pm::sph_bessel_j(10, 10.0), 0.06460515449256426, 1e-12);
+  EXPECT_NEAR(pm::sph_bessel_j(20, 10.0), 2.3083719613194687e-06, 1e-15);
+}
+
+TEST(SphBessel, RejectsNegativeArgument) {
+  EXPECT_THROW(pm::sph_bessel_j(2, -1.0), plinger::InvalidArgument);
+}

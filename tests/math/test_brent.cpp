@@ -1,0 +1,50 @@
+#include "math/brent.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pm = plinger::math;
+
+TEST(Brent, SimpleRoots) {
+  EXPECT_NEAR(pm::brent_root([](double x) { return x * x - 2.0; }, 0.0, 2.0),
+              std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(pm::brent_root([](double x) { return std::cos(x); }, 0.0, 3.0),
+              std::acos(0.0), 1e-12);
+  EXPECT_NEAR(
+      pm::brent_root([](double x) { return std::exp(x) - 5.0; }, 0.0, 3.0),
+      std::log(5.0), 1e-12);
+}
+
+TEST(Brent, RootAtBracketEndpoint) {
+  EXPECT_DOUBLE_EQ(pm::brent_root([](double x) { return x; }, 0.0, 1.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      pm::brent_root([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Brent, SteepAndFlatFunctions) {
+  // Steep: x^21 near 0.5.
+  const double r1 = pm::brent_root(
+      [](double x) { return std::pow(x - 0.5, 21.0) * 1e6; }, 0.0, 1.0,
+      1e-14);
+  EXPECT_NEAR(r1, 0.5, 1e-3);  // flat region limits attainable accuracy
+  // Nearly flat then crossing.
+  const double r2 = pm::brent_root(
+      [](double x) { return std::tanh(50.0 * (x - 0.3)); }, -1.0, 1.0);
+  EXPECT_NEAR(r2, 0.3, 1e-10);
+}
+
+TEST(Brent, ThrowsWithoutBracket) {
+  EXPECT_THROW(
+      pm::brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      plinger::InvalidArgument);
+}
+
+TEST(Brent, DecreasingFunction) {
+  EXPECT_NEAR(
+      pm::brent_root([](double x) { return 2.0 - x * x * x; }, 0.0, 2.0),
+      std::cbrt(2.0), 1e-12);
+}

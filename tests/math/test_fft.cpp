@@ -1,0 +1,134 @@
+#include "math/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "math/rng.hpp"
+
+namespace pm = plinger::math;
+using cd = std::complex<double>;
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<cd> v(8, cd(0.0, 0.0));
+  v[0] = cd(1.0, 0.0);
+  pm::fft(v, -1);
+  for (const auto& x : v) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-14);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<cd> v(n);
+  const std::size_t k0 = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * std::numbers::pi * k0 * i / n;
+    v[i] = cd(std::cos(ph), std::sin(ph));
+  }
+  pm::fft(v, -1);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = (k == k0) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(v[k]), expected, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  pm::Xoshiro256 rng(77);
+  const std::size_t n = 256;
+  std::vector<cd> v(n), orig(n);
+  for (auto& x : v) x = cd(rng.gaussian(), rng.gaussian());
+  orig = v;
+  pm::fft(v, -1);
+  pm::fft(v, +1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(v[i].real() / n, orig[i].real(), 1e-12);
+    EXPECT_NEAR(v[i].imag() / n, orig[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  pm::Xoshiro256 rng(1234);
+  const std::size_t n = 128;
+  std::vector<cd> v(n);
+  double time_power = 0.0;
+  for (auto& x : v) {
+    x = cd(rng.gaussian(), rng.gaussian());
+    time_power += std::norm(x);
+  }
+  pm::fft(v, -1);
+  double freq_power = 0.0;
+  for (const auto& x : v) freq_power += std::norm(x);
+  EXPECT_NEAR(freq_power, n * time_power, 1e-8 * freq_power);
+}
+
+TEST(Fft2d, RoundTripIsIdentity) {
+  pm::Xoshiro256 rng(9);
+  const std::size_t n = 16;
+  std::vector<cd> v(n * n), orig(n * n);
+  for (auto& x : v) x = cd(rng.uniform(), rng.uniform());
+  orig = v;
+  pm::fft2d(v, n, -1);
+  pm::fft2d(v, n, +1);
+  const double scale = static_cast<double>(n * n);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i].real() / scale, orig[i].real(), 1e-12);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cd> v(12);
+  EXPECT_THROW(pm::fft(v, -1), plinger::InvalidArgument);
+  EXPECT_THROW(pm::fft(std::span<cd>(v.data(), 12), 2),
+               plinger::InvalidArgument);
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(pm::is_pow2(1));
+  EXPECT_TRUE(pm::is_pow2(1024));
+  EXPECT_FALSE(pm::is_pow2(0));
+  EXPECT_FALSE(pm::is_pow2(12));
+}
+
+TEST(Fft3d, RoundTripAndSingleMode) {
+  const std::size_t n = 8;
+  std::vector<cd> v(n * n * n, cd(0.0, 0.0));
+  // Single mode (1, 2, 3): forward transform must put all power there.
+  for (std::size_t ix = 0; ix < n; ++ix) {
+    for (std::size_t iy = 0; iy < n; ++iy) {
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        const double ph = 2.0 * std::numbers::pi *
+                          (1.0 * ix + 2.0 * iy + 3.0 * iz) / n;
+        v[(ix * n + iy) * n + iz] = cd(std::cos(ph), std::sin(ph));
+      }
+    }
+  }
+  auto orig = v;
+  pm::fft3d(v, n, -1);
+  const double n3 = static_cast<double>(n * n * n);
+  for (std::size_t ix = 0; ix < n; ++ix) {
+    for (std::size_t iy = 0; iy < n; ++iy) {
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        const double expected =
+            (ix == 1 && iy == 2 && iz == 3) ? n3 : 0.0;
+        EXPECT_NEAR(std::abs(v[(ix * n + iy) * n + iz]), expected, 1e-9);
+      }
+    }
+  }
+  pm::fft3d(v, n, +1);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i].real() / n3, orig[i].real(), 1e-12);
+    EXPECT_NEAR(v[i].imag() / n3, orig[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft3d, RejectsBadSizes) {
+  std::vector<cd> v(27);
+  EXPECT_THROW(pm::fft3d(v, 3, -1), plinger::InvalidArgument);
+  std::vector<cd> w(10);
+  EXPECT_THROW(pm::fft3d(w, 2, -1), plinger::InvalidArgument);
+}

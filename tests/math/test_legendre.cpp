@@ -1,0 +1,121 @@
+#include "math/legendre.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "math/quadrature.hpp"
+
+namespace pm = plinger::math;
+
+TEST(LegendreP, KnownValues) {
+  EXPECT_DOUBLE_EQ(pm::legendre_p(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(pm::legendre_p(1, 0.3), 0.3);
+  EXPECT_NEAR(pm::legendre_p(2, 0.5), 0.5 * (3 * 0.25 - 1), 1e-14);
+  EXPECT_NEAR(pm::legendre_p(3, 0.5), 0.5 * (5 * 0.125 - 3 * 0.5), 1e-14);
+  // P_l(1) = 1, P_l(-1) = (-1)^l.
+  for (std::size_t l : {0u, 1u, 5u, 20u, 101u}) {
+    EXPECT_NEAR(pm::legendre_p(l, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(pm::legendre_p(l, -1.0), (l % 2 == 0) ? 1.0 : -1.0, 1e-12);
+  }
+}
+
+TEST(LegendreP, ArrayMatchesScalar) {
+  std::vector<double> arr(50);
+  pm::legendre_p_array(0.37, arr);
+  for (std::size_t l = 0; l < arr.size(); ++l) {
+    EXPECT_NEAR(arr[l], pm::legendre_p(l, 0.37), 1e-13) << "l=" << l;
+  }
+}
+
+TEST(LegendreP, Orthogonality) {
+  // \int_-1^1 P_m P_n dx = 2/(2n+1) delta_mn.
+  const auto rule = pm::gauss_legendre(64);
+  for (std::size_t m : {0u, 1u, 3u, 7u}) {
+    for (std::size_t n : {0u, 1u, 3u, 7u, 12u}) {
+      const double integral = pm::apply(rule, [&](double x) {
+        return pm::legendre_p(m, x) * pm::legendre_p(n, x);
+      });
+      const double expected =
+          (m == n) ? 2.0 / (2.0 * static_cast<double>(n) + 1.0) : 0.0;
+      EXPECT_NEAR(integral, expected, 1e-12) << m << "," << n;
+    }
+  }
+}
+
+TEST(AssociatedLegendre, MatchesYl0Normalization) {
+  // lambda_l0(x) = sqrt((2l+1)/4pi) P_l(x).
+  pm::AssociatedLegendre al(32);
+  std::vector<double> lam(33);
+  const double x = 0.42;
+  al.lambda_lm(0, x, lam);
+  for (std::size_t l = 0; l <= 32; ++l) {
+    const double expected =
+        std::sqrt((2.0 * l + 1.0) / (4.0 * std::numbers::pi)) *
+        pm::legendre_p(l, x);
+    EXPECT_NEAR(lam[l], expected, 1e-12) << "l=" << l;
+  }
+}
+
+TEST(AssociatedLegendre, OrthonormalOverSphere) {
+  // 2 pi \int lambda_lm lambda_l'm dx = delta_ll' (phi integral gives the
+  // other 2 pi factor for m=0; for m>0 the normalization makes
+  // \int |Y_lm|^2 dOmega = 1, i.e. 2 pi \int lambda^2 dx = 1).
+  pm::AssociatedLegendre al(16);
+  const auto rule = pm::gauss_legendre(64);
+  for (std::size_t m : {0u, 1u, 4u}) {
+    std::vector<double> lam(17);
+    for (std::size_t l = m; l <= 16; ++l) {
+      const double norm = pm::apply(rule, [&](double x) {
+        al.lambda_lm(m, x, lam);
+        const double v = lam[l - m];
+        return v * v;
+      });
+      EXPECT_NEAR(2.0 * std::numbers::pi * norm, 1.0, 1e-10)
+          << "l=" << l << " m=" << m;
+    }
+  }
+}
+
+TEST(AssociatedLegendre, VanishesAtPolesForPositiveM) {
+  pm::AssociatedLegendre al(8);
+  std::vector<double> lam(9);
+  al.lambda_lm(3, 1.0, lam);
+  for (double v : lam) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AssociatedLegendre, AdditionTheoremAtEqualAngles) {
+  // sum_m |Y_lm|^2 = (2l+1)/(4 pi): with our real lambda,
+  // lambda_l0^2 + 2 sum_{m>0} lambda_lm^2 = (2l+1)/(4 pi).
+  pm::AssociatedLegendre al(24);
+  const double x = -0.173;
+  for (std::size_t l : {2u, 5u, 13u, 24u}) {
+    double sum = 0.0;
+    std::vector<double> lam(25);
+    for (std::size_t m = 0; m <= l; ++m) {
+      al.lambda_lm(m, x, lam);
+      const double v = lam[l - m];
+      sum += (m == 0) ? v * v : 2.0 * v * v;
+    }
+    EXPECT_NEAR(sum, (2.0 * l + 1.0) / (4.0 * std::numbers::pi), 1e-10)
+        << "l=" << l;
+  }
+}
+
+TEST(AssociatedLegendre, LargeLStability) {
+  // No overflow/underflow up to l = 2000 and values stay bounded by the
+  // addition-theorem envelope sqrt((2l+1)/4pi).
+  const std::size_t lmax = 2000;
+  pm::AssociatedLegendre al(lmax);
+  std::vector<double> lam(lmax + 1);
+  for (std::size_t m : {0u, 1u, 100u, 1500u}) {
+    al.lambda_lm(m, 0.3, lam);
+    for (std::size_t i = 0; i <= lmax - m; ++i) {
+      const double bound =
+          std::sqrt((2.0 * (m + i) + 1.0) / (4.0 * std::numbers::pi));
+      EXPECT_LE(std::abs(lam[i]), bound * 1.0000001);
+      EXPECT_TRUE(std::isfinite(lam[i]));
+    }
+  }
+}

@@ -1,0 +1,231 @@
+#include "math/ode.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pm = plinger::math;
+
+namespace {
+
+/// y' = -y, y(0) = 1  ->  y(t) = e^{-t}.
+void exp_decay(double, std::span<const double> y, std::span<double> dy) {
+  dy[0] = -y[0];
+}
+
+/// Harmonic oscillator y'' = -w^2 y as a first-order system.
+struct Oscillator {
+  double w;
+  void operator()(double, std::span<const double> y,
+                  std::span<double> dy) const {
+    dy[0] = y[1];
+    dy[1] = -w * w * y[0];
+  }
+};
+
+}  // namespace
+
+TEST(Dverk, ExponentialDecayAccuracy) {
+  pm::Dverk ode;
+  std::vector<double> y = {1.0};
+  pm::OdeOptions opts;
+  opts.rtol = 1e-10;
+  opts.atol = 1e-14;
+  ode.integrate(exp_decay, 0.0, 5.0, y, opts);
+  EXPECT_NEAR(y[0], std::exp(-5.0), 1e-9);
+}
+
+TEST(Dverk, BackwardIntegration) {
+  pm::Dverk ode;
+  std::vector<double> y = {std::exp(-5.0)};
+  pm::OdeOptions opts;
+  opts.rtol = 1e-10;
+  opts.atol = 1e-14;
+  ode.integrate(exp_decay, 5.0, 0.0, y, opts);
+  EXPECT_NEAR(y[0], 1.0, 1e-8);
+}
+
+TEST(Dverk, OscillatorLongIntegration) {
+  pm::Dverk ode;
+  Oscillator osc{2.0};
+  std::vector<double> y = {1.0, 0.0};
+  pm::OdeOptions opts;
+  opts.rtol = 1e-9;
+  opts.atol = 1e-12;
+  const double t1 = 20.0 * std::numbers::pi;  // 20 half-periods of w=2
+  ode.integrate(osc, 0.0, t1, y, opts);
+  EXPECT_NEAR(y[0], std::cos(2.0 * t1), 1e-6);
+  EXPECT_NEAR(y[1], -2.0 * std::sin(2.0 * t1), 2e-6);
+}
+
+/// The propagated solution must converge at ~6th order: halving the
+/// tolerance class (fixed-step emulation via h_max) reduces error ~2^6.
+TEST(Dverk, SixthOrderConvergence) {
+  Oscillator osc{1.0};
+  auto run_err = [&](double h) {
+    pm::Dverk ode;
+    std::vector<double> y = {1.0, 0.0};
+    pm::OdeOptions opts;
+    // Effectively fixed-step: tolerances loose, step capped at h.
+    opts.rtol = 1.0;
+    opts.atol = 1.0;
+    opts.h_init = h;
+    opts.h_max = h;
+    ode.integrate(osc, 0.0, 1.0, y, opts);
+    return std::abs(y[0] - std::cos(1.0));
+  };
+  const double e1 = run_err(0.05);
+  const double e2 = run_err(0.025);
+  const double order = std::log2(e1 / e2);
+  EXPECT_GT(order, 5.3) << "e1=" << e1 << " e2=" << e2;
+  EXPECT_LT(order, 7.5);
+}
+
+TEST(CashKarp, FifthOrderConvergence) {
+  Oscillator osc{1.0};
+  auto run_err = [&](double h) {
+    pm::CashKarp ode;
+    std::vector<double> y = {1.0, 0.0};
+    pm::OdeOptions opts;
+    opts.rtol = 1.0;
+    opts.atol = 1.0;
+    opts.h_init = h;
+    opts.h_max = h;
+    ode.integrate(osc, 0.0, 1.0, y, opts);
+    return std::abs(y[0] - std::cos(1.0));
+  };
+  const double e1 = run_err(0.05);
+  const double e2 = run_err(0.025);
+  const double order = std::log2(e1 / e2);
+  EXPECT_GT(order, 4.3);
+  EXPECT_LT(order, 6.5);
+}
+
+TEST(Dverk, ToleranceControlsError) {
+  Oscillator osc{1.0};
+  auto run_err = [&](double rtol) {
+    pm::Dverk ode;
+    std::vector<double> y = {1.0, 0.0};
+    pm::OdeOptions opts;
+    opts.rtol = rtol;
+    opts.atol = 1e-14;
+    ode.integrate(osc, 0.0, 10.0, y, opts);
+    return std::abs(y[0] - std::cos(10.0));
+  };
+  EXPECT_LT(run_err(1e-10), run_err(1e-4));
+  EXPECT_LT(run_err(1e-8), 1e-5);
+}
+
+TEST(Dverk, ObserverSeesMonotonicTimes) {
+  pm::Dverk ode;
+  std::vector<double> y = {1.0};
+  pm::OdeOptions opts;
+  double last = -1.0;
+  int count = 0;
+  ode.integrate(exp_decay, 0.0, 1.0, y, opts,
+                [&](double t, std::span<const double>) {
+                  EXPECT_GT(t, last);
+                  last = t;
+                  ++count;
+                });
+  EXPECT_GT(count, 2);
+  EXPECT_DOUBLE_EQ(last, 1.0);
+}
+
+TEST(Dverk, StatsAreConsistent) {
+  pm::Dverk ode;
+  std::vector<double> y = {1.0};
+  pm::OdeOptions opts;
+  const auto stats = ode.integrate(exp_decay, 0.0, 1.0, y, opts);
+  EXPECT_GT(stats.n_accepted, 0);
+  EXPECT_EQ(stats.n_rhs, 8 * (stats.n_accepted + stats.n_rejected));
+}
+
+TEST(Dverk, ThrowsOnEmptyInterval) {
+  pm::Dverk ode;
+  std::vector<double> y = {1.0};
+  pm::OdeOptions opts;
+  EXPECT_THROW(ode.integrate(exp_decay, 1.0, 1.0, y, opts),
+               plinger::InvalidArgument);
+}
+
+TEST(Dverk, ThrowsOnMaxSteps) {
+  pm::Dverk ode;
+  std::vector<double> y = {1.0};
+  pm::OdeOptions opts;
+  opts.max_steps = 3;
+  opts.h_init = 1e-9;
+  opts.h_max = 1e-9;
+  EXPECT_THROW(ode.integrate(exp_decay, 0.0, 1.0, y, opts),
+               plinger::NumericalFailure);
+}
+
+TEST(Dverk, StiffProblemStaysStable) {
+  // Moderately stiff decay: lambda = -200 over [0, 1].  The controller
+  // must keep the solution bounded and accurate at the end.
+  pm::Dverk ode;
+  std::vector<double> y = {1.0};
+  pm::OdeOptions opts;
+  opts.rtol = 1e-6;
+  opts.atol = 1e-12;
+  ode.integrate(
+      [](double, std::span<const double> yy, std::span<double> dy) {
+        dy[0] = -200.0 * yy[0];
+      },
+      0.0, 1.0, y, opts);
+  EXPECT_NEAR(y[0], std::exp(-200.0), 1e-10);
+}
+
+TEST(Dverk, VernerTableauRowSumsMatchNodes) {
+  using T = pm::VernerDverkTableau;
+  for (int i = 0; i < T::stages; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < i; ++j) sum += T::a[i][j];
+    EXPECT_NEAR(sum, T::c[i], 1e-14) << "row " << i;
+  }
+  double bsum = 0.0, bhatsum = 0.0;
+  for (int i = 0; i < T::stages; ++i) {
+    bsum += T::b[i];
+    bhatsum += T::bhat[i];
+  }
+  EXPECT_NEAR(bsum, 1.0, 1e-14);
+  EXPECT_NEAR(bhatsum, 1.0, 1e-14);
+}
+
+TEST(CashKarp, TableauRowSumsMatchNodes) {
+  using T = pm::CashKarpTableau;
+  for (int i = 0; i < T::stages; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < i; ++j) sum += T::a[i][j];
+    EXPECT_NEAR(sum, T::c[i], 1e-14) << "row " << i;
+  }
+}
+
+/// Parameterized sweep: integrate y' = cos(t) for several intervals and
+/// tolerances; the result must track sin(t) within tolerance * margin.
+class DverkSweep : public ::testing::TestWithParam<std::pair<double, double>> {
+};
+
+TEST_P(DverkSweep, TracksSine) {
+  const auto [t1, rtol] = GetParam();
+  pm::Dverk ode;
+  std::vector<double> y = {0.0};
+  pm::OdeOptions opts;
+  opts.rtol = rtol;
+  opts.atol = 1e-14;
+  ode.integrate(
+      [](double t, std::span<const double>, std::span<double> dy) {
+        dy[0] = std::cos(t);
+      },
+      0.0, t1, y, opts);
+  EXPECT_NEAR(y[0], std::sin(t1), 1e4 * rtol * std::max(1.0, t1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntervalsAndTolerances, DverkSweep,
+    ::testing::Values(std::pair{1.0, 1e-6}, std::pair{1.0, 1e-10},
+                      std::pair{10.0, 1e-6}, std::pair{10.0, 1e-10},
+                      std::pair{100.0, 1e-8}, std::pair{0.1, 1e-6}));

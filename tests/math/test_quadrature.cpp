@@ -1,0 +1,120 @@
+#include "math/quadrature.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pm = plinger::math;
+
+TEST(GaussLegendre, WeightsSumToIntervalLength) {
+  for (std::size_t n : {1u, 2u, 5u, 16u, 64u}) {
+    const auto rule = pm::gauss_legendre(n);
+    double sum = 0.0;
+    for (double w : rule.weights) sum += w;
+    EXPECT_NEAR(sum, 2.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(GaussLegendre, ExactForPolynomials) {
+  // n-point rule integrates degree 2n-1 exactly: check x^9 with n=5.
+  const auto rule = pm::gauss_legendre(5);
+  EXPECT_NEAR(pm::apply(rule, [](double x) { return x * x; }), 2.0 / 3.0,
+              1e-13);
+  EXPECT_NEAR(pm::apply(rule,
+                        [](double x) { return std::pow(x, 9) + x * x * x; }),
+              0.0, 1e-13);
+  EXPECT_NEAR(pm::apply(rule, [](double x) { return std::pow(x, 8); }),
+              2.0 / 9.0, 1e-13);
+}
+
+TEST(GaussLegendre, MappedInterval) {
+  const auto rule = pm::gauss_legendre(20, 0.0, std::numbers::pi);
+  EXPECT_NEAR(pm::apply(rule, [](double x) { return std::sin(x); }), 2.0,
+              1e-12);
+}
+
+TEST(GaussLegendre, NodesAreSymmetricAndSorted) {
+  const auto rule = pm::gauss_legendre(10);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[9 - i], 1e-14);
+  }
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+  }
+}
+
+TEST(GaussLaguerre, IntegratesGammaFunction) {
+  // \int_0^inf e^{-x} x^m dx = m!
+  const auto rule = pm::gauss_laguerre(16);
+  EXPECT_NEAR(pm::apply(rule, [](double) { return 1.0; }), 1.0, 1e-12);
+  EXPECT_NEAR(pm::apply(rule, [](double x) { return x; }), 1.0, 1e-11);
+  EXPECT_NEAR(pm::apply(rule, [](double x) { return x * x * x; }), 6.0,
+              1e-9);
+  EXPECT_NEAR(pm::apply(rule, [](double x) { return std::pow(x, 6); }),
+              720.0, 1e-6);
+}
+
+TEST(GaussLaguerre, FermiDiracIntegrals) {
+  // \int q^3/(e^q+1) dq = 7 pi^4/120; \int q^2/(e^q+1) = (3/2) zeta(3).
+  const auto rule = pm::gauss_laguerre(64);
+  const double i3 = pm::apply(rule, [](double q) {
+    return q * q * q / (1.0 + std::exp(-q));
+  });
+  EXPECT_NEAR(i3, 7.0 * std::pow(std::numbers::pi, 4) / 120.0, 1e-8);
+  const double i2 = pm::apply(rule, [](double q) {
+    return q * q / (1.0 + std::exp(-q));
+  });
+  EXPECT_NEAR(i2, 1.5 * 1.2020569031595943, 1e-8);
+}
+
+TEST(Romberg, SmoothIntegrals) {
+  EXPECT_NEAR(pm::romberg([](double x) { return std::sin(x); }, 0.0,
+                          std::numbers::pi),
+              2.0, 1e-10);
+  EXPECT_NEAR(pm::romberg([](double x) { return std::exp(-x * x); }, -6.0,
+                          6.0),
+              std::sqrt(std::numbers::pi), 1e-9);
+}
+
+TEST(Romberg, RespectsTolerance) {
+  const double loose = pm::romberg(
+      [](double x) { return 1.0 / (1.0 + x * x); }, 0.0, 1.0, 1e-4);
+  const double tight = pm::romberg(
+      [](double x) { return 1.0 / (1.0 + x * x); }, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(tight, std::numbers::pi / 4.0, 1e-11);
+  EXPECT_NEAR(loose, std::numbers::pi / 4.0, 1e-4);
+}
+
+TEST(Simpson, BasicAccuracy) {
+  EXPECT_NEAR(pm::simpson([](double x) { return x * x * x; }, 0.0, 1.0, 16),
+              0.25, 1e-12);
+  EXPECT_NEAR(pm::simpson([](double x) { return std::cos(x); }, 0.0, 1.0,
+                          200),
+              std::sin(1.0), 1e-9);
+}
+
+TEST(Quadrature, RejectsBadArguments) {
+  EXPECT_THROW(pm::gauss_legendre(0), plinger::InvalidArgument);
+  EXPECT_THROW(pm::gauss_laguerre(0), plinger::InvalidArgument);
+}
+
+/// Property sweep: Gauss-Legendre of order n must integrate all monomials
+/// up to degree 2n-1 exactly.
+class GaussOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussOrderSweep, MonomialExactness) {
+  const int n = GetParam();
+  const auto rule = pm::gauss_legendre(static_cast<std::size_t>(n));
+  for (int deg = 0; deg <= 2 * n - 1; ++deg) {
+    const double got =
+        pm::apply(rule, [deg](double x) { return std::pow(x, deg); });
+    const double want = (deg % 2 == 1) ? 0.0 : 2.0 / (deg + 1.0);
+    EXPECT_NEAR(got, want, 1e-11) << "n=" << n << " deg=" << deg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussOrderSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 20));

@@ -1,0 +1,74 @@
+#include "math/rng.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pm = plinger::math;
+
+TEST(Xoshiro, DeterministicForSeed) {
+  pm::Xoshiro256 a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  pm::Xoshiro256 rng(7);
+  double mean = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= n;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(Xoshiro, GaussianMomentsMatch) {
+  pm::Xoshiro256 rng(31337);
+  const int n = 200000;
+  double m1 = 0.0, m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    m1 += g;
+    m2 += g * g;
+    m3 += g * g * g;
+    m4 += g * g * g * g;
+  }
+  m1 /= n;
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  EXPECT_NEAR(m1, 0.0, 0.02);
+  EXPECT_NEAR(m2, 1.0, 0.03);
+  EXPECT_NEAR(m3, 0.0, 0.06);
+  EXPECT_NEAR(m4, 3.0, 0.15);
+}
+
+TEST(Xoshiro, DiscardAdvancesStream) {
+  pm::Xoshiro256 a(5), b(5);
+  a.discard(10);
+  for (int i = 0; i < 10; ++i) (void)b.next_u64();
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro, GaussianPairsAreUncorrelated) {
+  pm::Xoshiro256 rng(99);
+  const int n = 100000;
+  double corr = 0.0;
+  double prev = rng.gaussian();
+  for (int i = 0; i < n; ++i) {
+    const double cur = rng.gaussian();
+    corr += prev * cur;
+    prev = cur;
+  }
+  EXPECT_NEAR(corr / n, 0.0, 0.02);
+}

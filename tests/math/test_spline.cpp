@@ -1,0 +1,104 @@
+#include "math/spline.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pm = plinger::math;
+
+TEST(CubicSpline, ReproducesKnots) {
+  const auto x = pm::linspace(0.0, 1.0, 11);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::sin(3.0 * x[i]);
+  pm::CubicSpline s(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(s(x[i]), y[i], 1e-14);
+  }
+}
+
+TEST(CubicSpline, InterpolatesSmoothFunction) {
+  const auto x = pm::linspace(0.0, 3.0, 61);
+  auto s = pm::spline_function([](double t) { return std::sin(t); }, x);
+  for (double t = 0.03; t < 3.0; t += 0.0137) {
+    // Natural end conditions leave an O(h^2 f'') boundary layer; interior
+    // accuracy is much higher.
+    const double tol = (t < 0.3 || t > 2.7) ? 3e-5 : 2e-6;
+    EXPECT_NEAR(s(t), std::sin(t), tol);
+  }
+}
+
+TEST(CubicSpline, DerivativeOfSmoothFunction) {
+  const auto x = pm::linspace(0.0, 3.0, 121);
+  auto s = pm::spline_function([](double t) { return std::sin(t); }, x);
+  for (double t = 0.2; t < 2.8; t += 0.0971) {
+    EXPECT_NEAR(s.derivative(t), std::cos(t), 2e-4);
+  }
+}
+
+TEST(CubicSpline, SecondDerivativeNaturalEnds) {
+  const auto x = pm::linspace(0.0, 1.0, 21);
+  auto s = pm::spline_function([](double t) { return t * t * t; }, x);
+  EXPECT_NEAR(s.second_derivative(0.0), 0.0, 1e-10);
+  EXPECT_NEAR(s.second_derivative(1.0), 0.0, 1e-10);
+}
+
+TEST(CubicSpline, ExactForLinearData) {
+  const std::vector<double> x = {0.0, 0.5, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0, 5.0, 7.0};
+  pm::CubicSpline s(x, y);
+  EXPECT_NEAR(s(1.0), 3.0, 1e-12);
+  EXPECT_NEAR(s(2.5), 6.0, 1e-12);
+  // Linear extrapolation beyond the ends.
+  EXPECT_NEAR(s(4.0), 9.0, 1e-12);
+  EXPECT_NEAR(s(-1.0), -1.0, 1e-12);
+}
+
+TEST(CubicSpline, IntegralMatchesAnalytic) {
+  const auto x = pm::linspace(0.0, 2.0, 201);
+  auto s = pm::spline_function([](double t) { return std::exp(t); }, x);
+  EXPECT_NEAR(s.integral_from_start(2.0), std::exp(2.0) - 1.0, 1e-6);
+  EXPECT_NEAR(s.integral_from_start(1.3), std::exp(1.3) - 1.0, 1e-6);
+  EXPECT_NEAR(s.integral_from_start(0.0), 0.0, 1e-14);
+}
+
+TEST(CubicSpline, IntegralIsMonotoneForPositiveData) {
+  const auto x = pm::linspace(0.0, 5.0, 64);
+  auto s = pm::spline_function([](double t) { return 1.0 + t * t; }, x);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 5.0; t += 0.1) {
+    const double v = s.integral_from_start(t);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(CubicSpline, RejectsBadInput) {
+  const std::vector<double> good = {0.0, 1.0, 2.0};
+  const std::vector<double> bad_x = {0.0, 2.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW(pm::CubicSpline(bad_x, y), plinger::InvalidArgument);
+  const std::vector<double> one_x = {0.0};
+  const std::vector<double> one_y = {1.0};
+  EXPECT_THROW(pm::CubicSpline(one_x, one_y), plinger::InvalidArgument);
+  const std::vector<double> y_short = {1.0, 2.0};
+  EXPECT_THROW(pm::CubicSpline(good, y_short), plinger::InvalidArgument);
+}
+
+TEST(GridHelpers, LinspaceEndpoints) {
+  const auto v = pm::linspace(-2.0, 3.0, 6);
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_DOUBLE_EQ(v.front(), -2.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  EXPECT_DOUBLE_EQ(v[1] - v[0], 1.0);
+}
+
+TEST(GridHelpers, LogspaceEndpointsAndRatio) {
+  const auto v = pm::logspace(1e-4, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1e-4);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_NEAR(v[1] / v[0], 10.0, 1e-10);
+  EXPECT_THROW(pm::logspace(-1.0, 1.0, 5), plinger::InvalidArgument);
+}

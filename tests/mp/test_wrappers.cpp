@@ -1,0 +1,97 @@
+#include "mp/wrappers.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pm = plinger::mp;
+
+TEST(Wrappers, InitpassBindsRankAndMaster) {
+  pm::InProcWorld w(4);
+  auto ctx0 = pm::initpass(w, 0);
+  auto ctx2 = pm::initpass(w, 2);
+  EXPECT_TRUE(ctx0.is_master());
+  EXPECT_FALSE(ctx2.is_master());
+  EXPECT_EQ(ctx2.mastid, 0);
+  EXPECT_THROW(pm::initpass(w, 9), plinger::InvalidArgument);
+}
+
+TEST(Wrappers, BroadcastReachesAllOthers) {
+  pm::InProcWorld w(4);
+  auto master = pm::initpass(w, 0);
+  const std::vector<double> setup = {1.0, 2.0, 3.0, 4.0, 5.0};
+  pm::mybcastreal(master, setup, 1);
+  for (int r = 1; r < 4; ++r) {
+    auto ctx = pm::initpass(w, r);
+    pm::mycheckone(ctx, 1, 0);
+    std::vector<double> buf(5);
+    EXPECT_EQ(pm::myrecvreal(ctx, buf, 1, 0), 5u);
+    EXPECT_EQ(buf, setup);
+  }
+  // Master did not send to itself.
+  EXPECT_EQ(w.stats().n_messages, 3u);
+}
+
+TEST(Wrappers, CheckAnyReturnsTagAndSource) {
+  pm::InProcWorld w(3);
+  auto master = pm::initpass(w, 0);
+  auto worker = pm::initpass(w, 2);
+  const double v = 7.0;
+  pm::mysendreal(worker, std::span<const double>(&v, 1), 2, 0);
+  int msgtype = 0, itid = -5;
+  pm::mycheckany(master, msgtype, itid);
+  EXPECT_EQ(msgtype, 2);
+  EXPECT_EQ(itid, 2);
+}
+
+TEST(Wrappers, ChecktidReturnsTagFromSpecificSource) {
+  pm::InProcWorld w(3);
+  auto master = pm::initpass(w, 0);
+  auto w1 = pm::initpass(w, 1);
+  auto w2 = pm::initpass(w, 2);
+  const double a = 1.0, b = 2.0;
+  pm::mysendreal(w2, std::span<const double>(&b, 1), 6, 0);
+  pm::mysendreal(w1, std::span<const double>(&a, 1), 3, 0);
+  int msgtype = 0;
+  pm::mychecktid(master, msgtype, 1);
+  EXPECT_EQ(msgtype, 3);
+  pm::mychecktid(master, msgtype, 2);
+  EXPECT_EQ(msgtype, 6);
+}
+
+TEST(Wrappers, EndpassInvalidatesContext) {
+  pm::InProcWorld w(2);
+  auto ctx = pm::initpass(w, 0);
+  pm::endpass(ctx);
+  const double v = 0.0;
+  EXPECT_THROW(pm::mysendreal(ctx, std::span<const double>(&v, 1), 1, 1),
+               plinger::InvalidArgument);
+}
+
+TEST(Wrappers, PingPongAcrossThreads) {
+  pm::InProcWorld w(2);
+  std::thread worker([&w] {
+    auto ctx = pm::initpass(w, 1);
+    for (int i = 0; i < 50; ++i) {
+      int msgtype = 0;
+      pm::mychecktid(ctx, msgtype, 0);
+      double v = 0.0;
+      pm::myrecvreal(ctx, std::span<double>(&v, 1), msgtype, 0);
+      const double reply = v + 1.0;
+      pm::mysendreal(ctx, std::span<const double>(&reply, 1), msgtype + 1,
+                     0);
+    }
+  });
+  auto master = pm::initpass(w, 0);
+  for (int i = 0; i < 50; ++i) {
+    const double v = static_cast<double>(i);
+    pm::mysendreal(master, std::span<const double>(&v, 1), 3, 1);
+    pm::mycheckone(master, 4, 1);
+    double reply = 0.0;
+    pm::myrecvreal(master, std::span<double>(&reply, 1), 4, 1);
+    EXPECT_EQ(reply, v + 1.0);
+  }
+  worker.join();
+}

@@ -1,0 +1,170 @@
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "math/spline.hpp"
+#include "plinger/protocol.hpp"
+#include "plinger/virtual_cluster.hpp"
+
+namespace pp = plinger::parallel;
+namespace pb = plinger::boltzmann;
+namespace pm = plinger::mp;
+
+namespace {
+
+/// A fake evolve function: instant "result" carrying the k it was given.
+pb::ModeResult fake_result(const pb::EvolveRequest& req) {
+  pb::ModeResult r;
+  r.k = req.k;
+  r.lmax = 8;
+  r.f_gamma.assign(9, req.k);
+  r.g_gamma.assign(5, 0.0);
+  r.final_state.delta_c = -req.k;
+  return r;
+}
+
+/// Run master+workers over a world with the given per-worker evolve
+/// functions; returns (results-count, master stats).
+std::pair<std::size_t, pp::MasterStats> run_protocol(
+    const pp::KSchedule& sched, const std::vector<pp::EvolveFn>& workers,
+    int max_retries = 2) {
+  pm::InProcWorld world(static_cast<int>(workers.size()) + 1);
+  pp::RunSetup setup;
+  setup.tau_end = 100.0;
+  setup.lmax_cap = 0.0;  // fake evolvers ignore lmax
+  setup.n_k = static_cast<double>(sched.size());
+
+  std::vector<std::jthread> threads;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    threads.emplace_back([&, i] {
+      auto ctx = pm::initpass(world, static_cast<int>(i) + 1);
+      pp::run_worker(ctx, sched, workers[i]);
+    });
+  }
+  std::size_t n_results = 0;
+  auto ctx = pm::initpass(world, 0);
+  const auto stats = pp::run_master(
+      ctx, sched, setup,
+      [&n_results](std::size_t, const pb::ModeResult&) { ++n_results; },
+      max_retries);
+  threads.clear();
+  return {n_results, stats};
+}
+
+pp::KSchedule sched_n(std::size_t n) {
+  return pp::KSchedule(plinger::math::linspace(0.01, 0.1, n),
+                       pp::IssueOrder::largest_first);
+}
+
+}  // namespace
+
+TEST(FaultTolerance, TransientFailureIsRetried) {
+  // One worker fails the first 3 calls, then recovers.
+  auto fail_count = std::make_shared<std::atomic<int>>(0);
+  pp::EvolveFn flaky = [fail_count](const pb::EvolveRequest& req,
+                                    double) -> pb::ModeResult {
+    if (fail_count->fetch_add(1) < 3) {
+      throw plinger::NumericalFailure("transient");
+    }
+    return fake_result(req);
+  };
+  pp::EvolveFn good = [](const pb::EvolveRequest& req, double) {
+    return fake_result(req);
+  };
+  const auto sched = sched_n(12);
+  const auto [n, stats] = run_protocol(sched, {flaky, good}, 5);
+  EXPECT_EQ(n, 12u);
+  EXPECT_GE(stats.n_requeued, 1u);
+  EXPECT_TRUE(stats.failed_ik.empty());
+}
+
+TEST(FaultTolerance, PersistentFailureIsBounded) {
+  // Every evolve of one k throws: the master gives up after max_retries
+  // and the run still terminates with the other modes done.
+  pp::EvolveFn poisoned = [](const pb::EvolveRequest& req,
+                             double) -> pb::ModeResult {
+    if (std::abs(req.k - 0.1) < 1e-12) {
+      throw plinger::NumericalFailure("always fails at k=0.1");
+    }
+    return fake_result(req);
+  };
+  const auto sched = sched_n(10);
+  const auto [n, stats] = run_protocol(sched, {poisoned, poisoned}, 2);
+  EXPECT_EQ(n, 9u);
+  ASSERT_EQ(stats.failed_ik.size(), 1u);
+  EXPECT_DOUBLE_EQ(sched.k_of_ik(stats.failed_ik[0]), 0.1);
+  EXPECT_EQ(stats.n_requeued, 2u);  // two retries before giving up
+}
+
+TEST(FaultTolerance, AllWorkersFlakyStillCompletes) {
+  auto countdown = std::make_shared<std::atomic<int>>(6);
+  pp::EvolveFn flaky = [countdown](const pb::EvolveRequest& req,
+                                   double) -> pb::ModeResult {
+    if (countdown->fetch_sub(1) > 0) {
+      throw plinger::NumericalFailure("warming up");
+    }
+    return fake_result(req);
+  };
+  const auto sched = sched_n(8);
+  const auto [n, stats] = run_protocol(sched, {flaky, flaky, flaky}, 10);
+  EXPECT_EQ(n, 8u);
+  EXPECT_TRUE(stats.failed_ik.empty());
+}
+
+TEST(HeterogeneousCluster, FasterNodesDoMoreWork) {
+  const auto sched = sched_n(64);
+  auto cost = [](double) { return 10.0; };
+  pp::MessageSizer sizer;
+  sizer.tau0 = 11839.0;
+  // Worker 1 at 4x speed.
+  const std::vector<double> speeds = {4.0, 1.0, 1.0, 1.0};
+  const auto r = pp::simulate_virtual_cluster(sched, 4, cost,
+                                              pp::LinkModel{}, sizer,
+                                              speeds);
+  // Busy time is recorded as actual (speed-scaled) seconds; the fast
+  // worker should complete ~4x the items, i.e. comparable busy seconds.
+  EXPECT_GT(r.worker_busy_seconds[1], 0.5 * r.worker_busy_seconds[2]);
+  // Wallclock beats the homogeneous 4-node run (extra speed helps).
+  const auto homo = pp::simulate_virtual_cluster(sched, 4, cost,
+                                                 pp::LinkModel{}, sizer);
+  EXPECT_LT(r.wallclock_seconds, homo.wallclock_seconds);
+}
+
+TEST(HeterogeneousCluster, C90T3DEnvironmentModel) {
+  // The paper's PSC setup: T3D nodes ~15/40 the Power2 speed.  Scaling
+  // still near-ideal: the master/worker pattern does not care about
+  // node identity.
+  const auto sched = sched_n(256);
+  auto cost = [](double k) { return 60.0 + 600.0 * k / 0.1; };
+  pp::MessageSizer sizer;
+  sizer.tau0 = 11839.0;
+  const std::vector<double> t3d(64, 15.0 / 40.0);
+  const auto r = pp::simulate_virtual_cluster(sched, 64, cost,
+                                              pp::LinkModel{}, sizer,
+                                              t3d);
+  EXPECT_GT(r.parallel_efficiency(), 0.9);
+  // Total CPU is (40/15)x the homogeneous-Power2 value.
+  const auto power2 = pp::simulate_virtual_cluster(sched, 64, cost,
+                                                   pp::LinkModel{}, sizer);
+  EXPECT_NEAR(r.total_worker_cpu_seconds /
+                  power2.total_worker_cpu_seconds,
+              40.0 / 15.0, 1e-6);
+}
+
+TEST(HeterogeneousCluster, RejectsBadSpeeds) {
+  const auto sched = sched_n(4);
+  auto cost = [](double) { return 1.0; };
+  pp::MessageSizer sizer;
+  sizer.tau0 = 11839.0;
+  EXPECT_THROW(pp::simulate_virtual_cluster(sched, 4, cost,
+                                            pp::LinkModel{}, sizer,
+                                            {1.0, 2.0}),
+               plinger::InvalidArgument);
+  EXPECT_THROW(pp::simulate_virtual_cluster(sched, 2, cost,
+                                            pp::LinkModel{}, sizer,
+                                            {1.0, -2.0}),
+               plinger::InvalidArgument);
+}

@@ -1,0 +1,92 @@
+#include "plinger/records.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pp = plinger::parallel;
+namespace pb = plinger::boltzmann;
+
+namespace {
+pb::ModeResult fake_result() {
+  pb::ModeResult r;
+  r.k = 0.123;
+  r.lmax = 20;
+  r.tau_init = 0.01;
+  r.tau_switch = 55.0;
+  r.tau_end = 11839.0;
+  r.f_gamma.resize(21);
+  for (std::size_t l = 0; l <= 20; ++l) {
+    r.f_gamma[l] = 0.1 * static_cast<double>(l) - 1.0;
+  }
+  r.g_gamma = {1.0, 2.0, 3.0, 4.0, 5.0};
+  r.final_state.a = 1.0;
+  r.final_state.delta_c = -1234.5;
+  r.final_state.delta_b = -1200.0;
+  r.final_state.delta_g = -0.5;
+  r.final_state.delta_nu = -0.4;
+  r.final_state.delta_m = -1230.0;
+  r.final_state.theta_b = 0.01;
+  r.final_state.theta_g = 0.02;
+  r.final_state.eta = 0.7;
+  r.final_state.h = 999.0;
+  r.final_state.phi = 0.43;
+  r.final_state.psi = 0.42;
+  r.stats.n_accepted = 4000;
+  r.stats.n_rhs = 32000;
+  r.flops = 123456789;
+  r.cpu_seconds = 1.5;
+  return r;
+}
+}  // namespace
+
+TEST(Records, HeaderHasPaperLengthAndLmaxSlot) {
+  const auto r = fake_result();
+  const auto header = pp::pack_header(77, r);
+  EXPECT_EQ(header.size(), 21u);  // the paper's imsglen = 21
+  EXPECT_EQ(pp::header_lmax(header), 20u);
+  EXPECT_EQ(header[0], 77.0);  // y(1) = ik as in Appendix A
+  EXPECT_EQ(header[20], 20.0);  // y(21) = lmax
+}
+
+TEST(Records, PayloadLengthGrowsWithLmax) {
+  EXPECT_EQ(pp::payload_length(20, 4), 8u + 21u + 5u);
+  EXPECT_GT(pp::payload_length(5000, 32), pp::payload_length(100, 32));
+  // The paper's 80 kB bound: lmax = 5000 with short polarization is
+  // ~40 kB of doubles; with full polarization it reaches ~80 kB.
+  EXPECT_NEAR(static_cast<double>(
+                  pp::payload_length(5000, 5000) * sizeof(double)),
+              80e3, 1e3);
+}
+
+TEST(Records, RoundTripIsExact) {
+  const auto r = fake_result();
+  const auto header = pp::pack_header(42, r);
+  const auto payload = pp::pack_payload(42, r);
+  std::size_t ik = 0;
+  const auto back = pp::unpack_records(header, payload, ik);
+  EXPECT_EQ(ik, 42u);
+  EXPECT_EQ(back.k, r.k);
+  EXPECT_EQ(back.lmax, r.lmax);
+  EXPECT_EQ(back.f_gamma, r.f_gamma);
+  EXPECT_EQ(back.g_gamma, r.g_gamma);
+  EXPECT_EQ(back.final_state.delta_c, r.final_state.delta_c);
+  EXPECT_EQ(back.final_state.psi, r.final_state.psi);
+  EXPECT_EQ(back.stats.n_accepted, r.stats.n_accepted);
+  EXPECT_EQ(back.flops, r.flops);
+  EXPECT_EQ(back.cpu_seconds, r.cpu_seconds);
+  EXPECT_EQ(back.tau_switch, r.tau_switch);
+  EXPECT_EQ(back.tau_init, r.tau_init);
+}
+
+TEST(Records, MismatchedRecordsRejected) {
+  const auto r = fake_result();
+  const auto header = pp::pack_header(1, r);
+  const auto payload = pp::pack_payload(2, r);  // wrong ik
+  std::size_t ik = 0;
+  EXPECT_THROW(pp::unpack_records(header, payload, ik),
+               plinger::InvalidArgument);
+  std::vector<double> short_header(10, 0.0);
+  EXPECT_THROW(pp::unpack_records(short_header, payload, ik),
+               plinger::InvalidArgument);
+}

@@ -1,0 +1,126 @@
+#include "plinger/virtual_cluster.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/spline.hpp"
+
+namespace pp = plinger::parallel;
+
+namespace {
+pp::KSchedule sched(std::size_t n, pp::IssueOrder order) {
+  return pp::KSchedule(plinger::math::linspace(0.001, 0.1, n), order);
+}
+
+pp::MessageSizer sizer() {
+  pp::MessageSizer s;
+  s.tau0 = 11839.0;
+  return s;
+}
+
+/// Paper-like cost: grows ~ (k tau0)^2, 2 minutes at small k up to ~30
+/// minutes at large k (paper §4).
+double paper_cost(double k) {
+  const double x = k * 11839.0;
+  return 120.0 + 1800.0 * (x * x) / (0.1 * 11839.0 * 0.1 * 11839.0);
+}
+}  // namespace
+
+TEST(VirtualCluster, ConservesWork) {
+  const auto s = sched(64, pp::IssueOrder::largest_first);
+  const auto r = pp::simulate_virtual_cluster(s, 8, paper_cost,
+                                              pp::LinkModel{}, sizer());
+  double total_cost = 0.0;
+  for (std::size_t ik = 1; ik <= 64; ++ik) {
+    total_cost += paper_cost(s.k_of_ik(ik));
+  }
+  EXPECT_NEAR(r.total_worker_cpu_seconds, total_cost, 1e-6 * total_cost);
+  double busy = 0.0;
+  for (double b : r.worker_busy_seconds) busy += b;
+  EXPECT_NEAR(busy, total_cost, 1e-6 * total_cost);
+}
+
+TEST(VirtualCluster, WallclockBounds) {
+  const auto s = sched(64, pp::IssueOrder::largest_first);
+  double total = 0.0, longest = 0.0;
+  for (std::size_t ik = 1; ik <= 64; ++ik) {
+    total += paper_cost(s.k_of_ik(ik));
+    longest = std::max(longest, paper_cost(s.k_of_ik(ik)));
+  }
+  const auto r = pp::simulate_virtual_cluster(s, 8, paper_cost,
+                                              pp::LinkModel{}, sizer());
+  EXPECT_GE(r.wallclock_seconds, total / 8.0);
+  EXPECT_GE(r.wallclock_seconds, longest);
+  EXPECT_LE(r.wallclock_seconds, total);  // some parallelism happened
+}
+
+TEST(VirtualCluster, NearIdealScalingPaperRegime) {
+  // Figure 1's claim: ~95% parallel efficiency with plenty of work.
+  const auto s = sched(512, pp::IssueOrder::largest_first);
+  for (int n : {4, 16, 64}) {
+    const auto r = pp::simulate_virtual_cluster(s, n, paper_cost,
+                                                pp::LinkModel{}, sizer());
+    EXPECT_GT(r.parallel_efficiency(), 0.93) << n;
+    EXPECT_LE(r.parallel_efficiency(), 1.0 + 1e-9) << n;
+  }
+}
+
+TEST(VirtualCluster, SpeedupSaturatesWithFewModes) {
+  // With 16 work items, 64 workers cannot help beyond 16.
+  const auto s = sched(16, pp::IssueOrder::largest_first);
+  const auto r16 = pp::simulate_virtual_cluster(s, 16, paper_cost,
+                                                pp::LinkModel{}, sizer());
+  const auto r64 = pp::simulate_virtual_cluster(s, 64, paper_cost,
+                                                pp::LinkModel{}, sizer());
+  EXPECT_NEAR(r64.wallclock_seconds, r16.wallclock_seconds,
+              0.02 * r16.wallclock_seconds);
+}
+
+TEST(VirtualCluster, LargestFirstBeatsNatural) {
+  // The paper's idle-tail mitigation: issuing expensive modes first
+  // shortens the tail.
+  const auto s_lf = sched(96, pp::IssueOrder::largest_first);
+  const auto s_nat = sched(96, pp::IssueOrder::natural);
+  const int n = 16;
+  const auto r_lf = pp::simulate_virtual_cluster(s_lf, n, paper_cost,
+                                                 pp::LinkModel{}, sizer());
+  const auto r_nat = pp::simulate_virtual_cluster(s_nat, n, paper_cost,
+                                                  pp::LinkModel{}, sizer());
+  EXPECT_LT(r_lf.wallclock_seconds, r_nat.wallclock_seconds);
+}
+
+TEST(VirtualCluster, MessageOverheadNegligible) {
+  // Paper §4: overhead from message passing is insignificant.  Compare a
+  // zero-cost link against the SP2-like link.
+  const auto s = sched(128, pp::IssueOrder::largest_first);
+  pp::LinkModel free_link;
+  free_link.latency_seconds = 0.0;
+  free_link.bytes_per_second = 1e18;
+  free_link.master_service_seconds = 0.0;
+  const auto r_free = pp::simulate_virtual_cluster(s, 32, paper_cost,
+                                                   free_link, sizer());
+  const auto r_real = pp::simulate_virtual_cluster(
+      s, 32, paper_cost, pp::LinkModel{}, sizer());
+  EXPECT_NEAR(r_real.wallclock_seconds, r_free.wallclock_seconds,
+              0.01 * r_free.wallclock_seconds);
+}
+
+TEST(VirtualCluster, MessageSizesTrackLmax) {
+  const auto sz = sizer();
+  EXPECT_GT(sz.result_bytes(0.1), sz.result_bytes(0.001));
+  // Small k: header 21 + payload ~ 8 + 73 + 33 doubles ~ 1 kB.
+  EXPECT_LT(sz.result_bytes(0.0001), 2000u);
+}
+
+TEST(VirtualCluster, CountsMessagesLikeTheProtocol) {
+  const std::size_t nk = 32;
+  const int n = 4;
+  const auto s = sched(nk, pp::IssueOrder::largest_first);
+  const auto r = pp::simulate_virtual_cluster(s, n, paper_cost,
+                                              pp::LinkModel{}, sizer());
+  // 2 per worker startup (bcast + request), 1 assign/stop per message
+  // handled, 2 per result.
+  EXPECT_GE(r.n_messages, 2u * n + 3u * nk);
+  EXPECT_GT(r.n_bytes, nk * 21 * sizeof(double));
+}

@@ -1,0 +1,87 @@
+#include "skymap/alm.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pk = plinger::skymap;
+namespace ps = plinger::spectra;
+
+namespace {
+ps::AngularSpectrum flat_cl(std::size_t lmax, double value) {
+  ps::AngularSpectrum s;
+  s.cl.assign(lmax + 1, value);
+  s.cl[0] = s.cl[1] = 0.0;
+  return s;
+}
+}  // namespace
+
+TEST(AlmSet, IndexingAndStorage) {
+  pk::AlmSet alm(10);
+  alm.at(5, 3) = {1.0, -2.0};
+  EXPECT_EQ(alm.at(5, 3).real(), 1.0);
+  EXPECT_EQ(alm.at(5, 3).imag(), -2.0);
+  EXPECT_EQ(alm.at(5, 2), std::complex<double>(0.0, 0.0));
+  EXPECT_THROW(alm.at(11, 0), plinger::InvalidArgument);
+  EXPECT_THROW(alm.at(5, 6), plinger::InvalidArgument);
+}
+
+TEST(AlmSet, RealizedClFormula) {
+  pk::AlmSet alm(4);
+  alm.at(2, 0) = {3.0, 0.0};
+  alm.at(2, 1) = {1.0, 1.0};
+  alm.at(2, 2) = {0.0, 2.0};
+  // (9 + 2*2 + 2*4)/5 = 21/5.
+  EXPECT_NEAR(alm.realized_cl(2), 21.0 / 5.0, 1e-14);
+}
+
+TEST(RealizeAlm, DeterministicPerSeed) {
+  const auto spec = flat_cl(16, 1.0);
+  const auto a = pk::realize_alm(spec, 7);
+  const auto b = pk::realize_alm(spec, 7);
+  const auto c = pk::realize_alm(spec, 8);
+  EXPECT_EQ(a.at(5, 2), b.at(5, 2));
+  EXPECT_NE(a.at(5, 2), c.at(5, 2));
+}
+
+TEST(RealizeAlm, VarianceMatchesCl) {
+  // Average realized_cl over l at fixed C_l: chi^2 statistics around C_l.
+  const double cl = 2.5;
+  const auto spec = flat_cl(60, cl);
+  const auto alm = pk::realize_alm(spec, 42);
+  double mean = 0.0;
+  int count = 0;
+  for (std::size_t l = 20; l <= 60; ++l) {
+    mean += alm.realized_cl(l) / cl;
+    ++count;
+  }
+  mean /= count;
+  // Relative scatter ~ sqrt(2/((2l+1) n_l)) ~ 2%.
+  EXPECT_NEAR(mean, 1.0, 0.08);
+}
+
+TEST(RealizeAlm, MonopoleDipoleAbsent) {
+  const auto alm = pk::realize_alm(flat_cl(8, 1.0), 3);
+  EXPECT_EQ(alm.at(0, 0), std::complex<double>(0.0, 0.0));
+  EXPECT_EQ(alm.at(1, 0), std::complex<double>(0.0, 0.0));
+  EXPECT_EQ(alm.at(1, 1), std::complex<double>(0.0, 0.0));
+}
+
+TEST(RealizeAlm, A_l0_IsReal) {
+  const auto alm = pk::realize_alm(flat_cl(12, 1.0), 11);
+  for (std::size_t l = 2; l <= 12; ++l) {
+    EXPECT_EQ(alm.at(l, 0).imag(), 0.0);
+  }
+}
+
+TEST(GaussianBeam, SuppressesHighL) {
+  auto alm = pk::realize_alm(flat_cl(40, 1.0), 5);
+  const double before_low = alm.realized_cl(4);
+  const double before_high = alm.realized_cl(40);
+  alm.apply_gaussian_beam(0.05);
+  EXPECT_NEAR(alm.realized_cl(4) / before_low,
+              std::exp(-4.0 * 5.0 * 0.05 * 0.05), 1e-10);
+  EXPECT_LT(alm.realized_cl(40) / before_high, 0.02);
+}

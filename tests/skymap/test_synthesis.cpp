@@ -1,0 +1,88 @@
+#include "skymap/synthesis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pk = plinger::skymap;
+namespace ps = plinger::spectra;
+
+TEST(Synthesis, PureY20Mode) {
+  // a_20 = 1: T = lambda_20(cos theta) = sqrt(5/4pi) P_2(cos theta).
+  pk::AlmSet alm(4);
+  alm.at(2, 0) = {1.0, 0.0};
+  const auto map = pk::synthesize(alm, 32, 64);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const double theta = std::numbers::pi * (i + 0.5) / 32.0;
+    const double x = std::cos(theta);
+    const double expected = std::sqrt(5.0 / (4.0 * std::numbers::pi)) *
+                            0.5 * (3.0 * x * x - 1.0);
+    for (std::size_t j = 0; j < 64; j += 16) {
+      EXPECT_NEAR(map.at(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(Synthesis, PureY22ModeHasCos2PhiStructure) {
+  pk::AlmSet alm(4);
+  alm.at(2, 2) = {0.5, 0.0};
+  const auto map = pk::synthesize(alm, 16, 64);
+  // At the equator row, T ~ cos(2 phi) modulation.
+  const std::size_t eq = 8;
+  double max_v = -1e9, min_v = 1e9;
+  for (std::size_t j = 0; j < 64; ++j) {
+    max_v = std::max(max_v, map.at(eq, j));
+    min_v = std::min(min_v, map.at(eq, j));
+  }
+  EXPECT_NEAR(max_v, -min_v, 1e-10);
+  EXPECT_GT(max_v, 0.1);
+  // Periodicity: phi and phi + pi give the same value (m = 2).
+  for (std::size_t j = 0; j < 32; ++j) {
+    EXPECT_NEAR(map.at(eq, j), map.at(eq, j + 32), 1e-12);
+  }
+}
+
+TEST(Synthesis, MapVarianceMatchesSpectrum) {
+  // <T^2> = sum_l (2l+1) C_l / 4 pi for a realization (within cosmic
+  // variance of the realization itself, exact per realized_cl).
+  ps::AngularSpectrum spec;
+  spec.cl.assign(25, 0.0);
+  for (std::size_t l = 2; l <= 24; ++l) spec.cl[l] = 1.0 / (l * (l + 1.0));
+  const auto alm = pk::realize_alm(spec, 99);
+  double expected = 0.0;
+  for (std::size_t l = 2; l <= 24; ++l) {
+    expected += (2.0 * l + 1.0) * alm.realized_cl(l) /
+                (4.0 * std::numbers::pi);
+  }
+  const auto map = pk::synthesize(alm, 96, 192);
+  EXPECT_NEAR(map.variance(), expected, 0.02 * expected);
+}
+
+TEST(Synthesis, MeanIsNearZeroWithoutMonopole) {
+  ps::AngularSpectrum spec;
+  spec.cl.assign(13, 1e-3);
+  spec.cl[0] = spec.cl[1] = 0.0;
+  const auto alm = pk::realize_alm(spec, 5);
+  const auto map = pk::synthesize(alm, 48, 96);
+  EXPECT_NEAR(map.mean(), 0.0, 0.02 * map.rms());
+}
+
+TEST(Synthesis, StatsHelpers) {
+  pk::SkyMap m;
+  m.n_lat = 2;
+  m.n_lon = 4;
+  m.data = {1, 2, 3, 4, -1, -2, -3, -4};
+  EXPECT_EQ(m.min(), -4.0);
+  EXPECT_EQ(m.max(), 4.0);
+  EXPECT_NEAR(m.mean(), 0.0, 1e-12);
+  EXPECT_GT(m.rms(), 0.0);
+}
+
+TEST(Synthesis, RejectsTinyGrids) {
+  pk::AlmSet alm(4);
+  EXPECT_THROW(pk::synthesize(alm, 1, 8), plinger::InvalidArgument);
+  EXPECT_THROW(pk::synthesize(alm, 8, 2), plinger::InvalidArgument);
+}

@@ -1,0 +1,88 @@
+#include "spectra/bandpower.hpp"
+#include "spectra/cosapp_data.hpp"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ps = plinger::spectra;
+
+namespace {
+ps::AngularSpectrum flat_dl(std::size_t lmax, double dl_value) {
+  ps::AngularSpectrum s;
+  s.cl.resize(lmax + 1, 0.0);
+  for (std::size_t l = 2; l <= lmax; ++l) {
+    s.cl[l] = dl_value * 2.0 * 3.14159265358979323846 /
+              (static_cast<double>(l) * (l + 1.0));
+  }
+  return s;
+}
+}  // namespace
+
+TEST(BandPower, FlatSpectrumGivesSqrtDl) {
+  const auto s = flat_dl(100, 9.0);
+  EXPECT_NEAR(ps::band_power_delta_t(s, 10, 50), 3.0, 1e-10);
+  EXPECT_NEAR(ps::band_power_gaussian(s, 30.0, 10.0), 3.0, 1e-10);
+}
+
+TEST(BandPower, WindowSelectsScales) {
+  // Rising D_l: a window at higher l reports more power.
+  ps::AngularSpectrum s;
+  s.cl.resize(201, 0.0);
+  for (std::size_t l = 2; l <= 200; ++l) {
+    s.cl[l] = static_cast<double>(l) /
+              (static_cast<double>(l) * (l + 1.0));
+  }
+  EXPECT_GT(ps::band_power_delta_t(s, 100, 150),
+            ps::band_power_delta_t(s, 10, 50));
+  EXPECT_GT(ps::band_power_gaussian(s, 120.0, 20.0),
+            ps::band_power_gaussian(s, 30.0, 20.0));
+}
+
+TEST(BandPower, ClampsToSpectrumEnd) {
+  const auto s = flat_dl(50, 4.0);
+  EXPECT_NEAR(ps::band_power_delta_t(s, 40, 500), 2.0, 1e-10);
+}
+
+TEST(BandPower, RejectsBadWindows) {
+  const auto s = flat_dl(50, 4.0);
+  EXPECT_THROW(ps::band_power_delta_t(s, 1, 10), plinger::InvalidArgument);
+  EXPECT_THROW(ps::band_power_delta_t(s, 20, 10),
+               plinger::InvalidArgument);
+  EXPECT_THROW(ps::band_power_gaussian(s, 10.0, -1.0),
+               plinger::InvalidArgument);
+}
+
+TEST(CosappData, TableIsWellFormed) {
+  const auto data = ps::cosapp_measurements();
+  ASSERT_GE(data.size(), 10u);
+  bool has_cobe = false;
+  for (const auto& m : data) {
+    EXPECT_GT(m.l_eff, 1.0);
+    EXPECT_LT(m.l_lo, m.l_hi);
+    EXPECT_GT(m.delta_t_uk, 0.0);
+    if (!m.upper_limit) {
+      EXPECT_GT(m.err_plus, 0.0);
+      EXPECT_GT(m.err_minus, 0.0);
+    }
+    if (std::string(m.experiment).find("COBE") != std::string::npos) {
+      has_cobe = true;
+      // "probing an angular scale of ten degrees" -> low l.
+      EXPECT_LT(m.l_eff, 15.0);
+    }
+  }
+  EXPECT_TRUE(has_cobe);
+}
+
+TEST(CosappData, CobeBandPowerNearThirtyMicroK) {
+  for (const auto& m : ps::cosapp_measurements()) {
+    if (std::string(m.experiment) == "COBE-2yr") {
+      EXPECT_NEAR(m.delta_t_uk, 28.0, 5.0);
+      return;
+    }
+  }
+  FAIL() << "COBE-2yr row missing";
+}

@@ -1,0 +1,116 @@
+#include "spectra/cl.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace ps = plinger::spectra;
+
+TEST(KGrid, SpacingResolvesOscillations) {
+  const double tau0 = 11839.0;
+  const auto k = ps::make_cl_kgrid(100, tau0, 2.5);
+  ASSERT_GT(k.size(), 10u);
+  const double dk = k[1] - k[0];
+  EXPECT_NEAR(dk, std::numbers::pi / (2.5 * tau0), 1e-12);
+  EXPECT_NEAR(k.front(), 0.25 / tau0, 1e-12);
+  EXPECT_GE(k.back(), 100.0 / tau0);
+  for (std::size_t i = 1; i < k.size(); ++i) EXPECT_GT(k[i], k[i - 1]);
+}
+
+TEST(KGrid, SizeScalesWithLmax) {
+  const double tau0 = 11839.0;
+  const auto k1 = ps::make_cl_kgrid(100, tau0);
+  const auto k2 = ps::make_cl_kgrid(200, tau0);
+  EXPECT_NEAR(static_cast<double>(k2.size()) / k1.size(), 2.0, 0.1);
+}
+
+TEST(ClAccumulator, SingleModeFormula) {
+  ps::PowerLawSpectrum prim;
+  prim.amplitude = 2.0;
+  prim.n_s = 1.0;
+  ps::ClAccumulator acc(4, prim);
+  std::vector<double> f = {0.0, 0.0, 0.4, 0.8, 1.2};
+  acc.add_mode(0.01, 0.001, f);
+  const auto spec = acc.temperature();
+  // C_l = 4 pi * P * dk/k * (F_l/4)^2.
+  const double w = 4.0 * std::numbers::pi * 2.0 * 0.001 / 0.01;
+  EXPECT_NEAR(spec.cl[2], w * 0.01, 1e-12);
+  EXPECT_NEAR(spec.cl[3], w * 0.04, 1e-12);
+  EXPECT_NEAR(spec.cl[4], w * 0.09, 1e-12);
+  EXPECT_EQ(spec.cl[0], 0.0);
+  EXPECT_EQ(spec.cl[1], 0.0);
+}
+
+TEST(ClAccumulator, ShortModeContributesOnlyLowL) {
+  ps::ClAccumulator acc(10, ps::PowerLawSpectrum{});
+  std::vector<double> f(4, 1.0);  // lmax(k) = 3 only
+  acc.add_mode(0.001, 1e-4, f);
+  const auto spec = acc.temperature();
+  EXPECT_GT(spec.cl[3], 0.0);
+  EXPECT_EQ(spec.cl[4], 0.0);
+  EXPECT_EQ(spec.cl[10], 0.0);
+}
+
+TEST(ClAccumulator, TiltWeightsModes) {
+  // Blue tilt (n_s > 1) upweights high k.
+  ps::PowerLawSpectrum flat;
+  ps::PowerLawSpectrum blue;
+  blue.n_s = 1.3;
+  blue.k_pivot = 0.01;
+  flat.k_pivot = 0.01;
+  ps::ClAccumulator a_flat(4, flat), a_blue(4, blue);
+  std::vector<double> f = {0, 0, 1.0, 0, 0};
+  a_flat.add_mode(0.1, 0.001, f);
+  a_blue.add_mode(0.1, 0.001, f);
+  EXPECT_GT(a_blue.temperature().cl[2], a_flat.temperature().cl[2]);
+  // At the pivot they agree.
+  ps::ClAccumulator b_flat(4, flat), b_blue(4, blue);
+  b_flat.add_mode(0.01, 0.001, f);
+  b_blue.add_mode(0.01, 0.001, f);
+  EXPECT_NEAR(b_blue.temperature().cl[2], b_flat.temperature().cl[2],
+              1e-15);
+}
+
+TEST(ClAccumulator, PolarizationSeparate) {
+  ps::ClAccumulator acc(4, ps::PowerLawSpectrum{});
+  std::vector<double> f = {0, 0, 1.0, 0, 0};
+  std::vector<double> g = {0, 0, 0.5, 0, 0};
+  acc.add_mode(0.01, 0.001, f);
+  acc.add_mode_polarization(0.01, 0.001, g);
+  EXPECT_GT(acc.temperature().cl[2], 0.0);
+  EXPECT_NEAR(acc.polarization().cl[2] / acc.temperature().cl[2], 0.25,
+              1e-12);
+}
+
+TEST(CobeNormalization, PinsQuadrupole) {
+  ps::AngularSpectrum spec;
+  spec.cl = {0.0, 0.0, 3.7e-3, 2.9e-3, 2.2e-3};
+  const double q = 18e-6, t0 = 2.726;
+  const double factor = ps::normalize_to_cobe_quadrupole(spec, q, t0);
+  const double c2_expected =
+      4.0 * std::numbers::pi / 5.0 * (q / t0) * (q / t0);
+  EXPECT_NEAR(spec.cl[2], c2_expected, 1e-20);
+  EXPECT_GT(factor, 0.0);
+  // Ratios preserved.
+  EXPECT_NEAR(spec.cl[3] / spec.cl[2], 2.9 / 3.7, 1e-12);
+}
+
+TEST(CobeNormalization, BandPowerScale) {
+  // For a flat (SW plateau) spectrum normalized to Q = 18 uK, the band
+  // power T0 sqrt(l(l+1)C_l/2pi) is ~28 uK at low l.
+  ps::AngularSpectrum spec;
+  spec.cl.resize(33, 0.0);
+  for (std::size_t l = 2; l <= 32; ++l) {
+    spec.cl[l] = 1.0 / (static_cast<double>(l) * (l + 1.0));
+  }
+  ps::normalize_to_cobe_quadrupole(spec, 18e-6, 2.726);
+  const double dt10 = 2.726 * std::sqrt(spec.dl(10)) * 1e6;
+  EXPECT_NEAR(dt10, 28.0, 1.0);
+}
+
+TEST(AngularSpectrum, DlDefinition) {
+  ps::AngularSpectrum spec;
+  spec.cl = {0, 0, 2.0 * std::numbers::pi / 6.0};
+  EXPECT_NEAR(spec.dl(2), 1.0, 1e-14);
+}

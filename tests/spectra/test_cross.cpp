@@ -1,0 +1,60 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "spectra/cl.hpp"
+
+namespace ps = plinger::spectra;
+
+TEST(CrossSpectrum, SingleModeFormula) {
+  ps::ClAccumulator acc(4, ps::PowerLawSpectrum{});
+  const std::vector<double> f = {0, 0, 0.4, -0.8, 1.2};
+  const std::vector<double> g = {0, 0, 0.2, 0.1, -0.5};
+  acc.add_mode_cross(0.01, 0.001, f, g);
+  const auto x = acc.cross();
+  const double w = 4.0 * std::numbers::pi * 0.001 / 0.01;
+  EXPECT_NEAR(x.cl[2], w * 0.1 * 0.05, 1e-15);
+  EXPECT_NEAR(x.cl[3], w * (-0.2) * 0.025, 1e-15);
+  EXPECT_NEAR(x.cl[4], w * 0.3 * (-0.125), 1e-15);
+}
+
+TEST(CrossSpectrum, CanBeNegative) {
+  ps::ClAccumulator acc(3, ps::PowerLawSpectrum{});
+  acc.add_mode_cross(0.01, 0.001, {0, 0, 1.0, 0}, {0, 0, -1.0, 0});
+  EXPECT_LT(acc.cross().cl[2], 0.0);
+}
+
+TEST(CrossSpectrum, CauchySchwarzAgainstAutoSpectra) {
+  // |C_l^TG| <= sqrt(C_l^T C_l^G) when built from the same modes.
+  ps::ClAccumulator acc(4, ps::PowerLawSpectrum{});
+  const std::vector<std::vector<double>> fs = {
+      {0, 0, 0.4, -0.8, 1.2}, {0, 0, -0.1, 0.5, 0.3}};
+  const std::vector<std::vector<double>> gs = {
+      {0, 0, 0.2, 0.1, -0.5}, {0, 0, 0.3, -0.2, 0.1}};
+  const double ks[] = {0.01, 0.02};
+  for (int i = 0; i < 2; ++i) {
+    acc.add_mode(ks[i], 1e-3, fs[i]);
+    acc.add_mode_polarization(ks[i], 1e-3, gs[i]);
+    acc.add_mode_cross(ks[i], 1e-3, fs[i], gs[i]);
+  }
+  const auto t = acc.temperature();
+  const auto p = acc.polarization();
+  const auto x = acc.cross();
+  for (std::size_t l = 2; l <= 4; ++l) {
+    EXPECT_LE(std::abs(x.cl[l]),
+              std::sqrt(t.cl[l] * p.cl[l]) * (1.0 + 1e-12))
+        << l;
+  }
+}
+
+TEST(CrossSpectrum, ClampsToShorterArray) {
+  ps::ClAccumulator acc(10, ps::PowerLawSpectrum{});
+  const std::vector<double> f(11, 1.0);
+  const std::vector<double> g(4, 1.0);  // polarization only to l=3
+  acc.add_mode_cross(0.01, 0.001, f, g);
+  const auto x = acc.cross();
+  EXPECT_GT(x.cl[3], 0.0);
+  EXPECT_EQ(x.cl[4], 0.0);
+}

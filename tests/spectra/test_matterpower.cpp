@@ -1,0 +1,103 @@
+#include "spectra/matterpower.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ps = plinger::spectra;
+
+namespace {
+/// Build a MatterPower with delta_m(k) = A k^2 T(k) for an analytic T.
+ps::MatterPower synthetic(double (*transfer)(double), double n_s = 1.0) {
+  ps::PowerLawSpectrum prim;
+  prim.n_s = n_s;
+  ps::MatterPower mp(prim);
+  for (double lk = -4.0; lk <= 0.0; lk += 0.02) {
+    const double k = std::pow(10.0, lk);
+    mp.add_mode(k, k * k * transfer(k));
+  }
+  mp.finalize();
+  return mp;
+}
+double unity(double) { return 1.0; }
+double bbks_like(double k) { return ps::bbks_transfer(k, 0.25, 0.5); }
+}  // namespace
+
+TEST(MatterPower, HarrisonZeldovichScaling) {
+  // T = 1, n_s = 1: P(k) ~ k.
+  const auto mp = synthetic(unity);
+  EXPECT_NEAR(mp(0.01) / mp(0.001), 10.0, 0.01);
+  EXPECT_NEAR(mp(0.1) / mp(0.01), 10.0, 0.01);
+}
+
+TEST(MatterPower, TransferNormalizedAtLargeScales) {
+  const auto mp = synthetic(bbks_like);
+  EXPECT_NEAR(mp.transfer(1.1e-4), 1.0, 0.02);
+  EXPECT_NEAR(mp.transfer(0.01) / bbks_like(0.01), 1.0, 0.02);
+  EXPECT_NEAR(mp.transfer(0.5) / bbks_like(0.5), 1.0, 0.05);
+}
+
+TEST(MatterPower, SigmaRDecreasesWithRadius) {
+  const auto mp = synthetic(bbks_like);
+  const double s8 = mp.sigma_r(8.0);
+  const double s16 = mp.sigma_r(16.0);
+  const double s32 = mp.sigma_r(32.0);
+  EXPECT_GT(s8, s16);
+  EXPECT_GT(s16, s32);
+}
+
+TEST(MatterPower, CobeFactorScalesPower) {
+  ps::PowerLawSpectrum prim;
+  ps::MatterPower a(prim), b(prim);
+  for (double lk = -3.0; lk <= -1.0; lk += 0.1) {
+    const double k = std::pow(10.0, lk);
+    a.add_mode(k, k * k);
+    b.add_mode(k, k * k);
+  }
+  a.finalize(1.0);
+  b.finalize(4.0);
+  EXPECT_NEAR(b(0.01) / a(0.01), 4.0, 1e-10);
+  // sigma scales with the square root.
+  EXPECT_NEAR(b.sigma_r(8.0) / a.sigma_r(8.0), 2.0, 1e-6);
+  // The transfer function is normalization-invariant.
+  EXPECT_NEAR(b.transfer(0.01), a.transfer(0.01), 1e-10);
+  EXPECT_NEAR(a.transfer(0.001), 1.0, 1e-6);
+}
+
+TEST(MatterPower, UnsortedInputHandled) {
+  ps::MatterPower mp((ps::PowerLawSpectrum()));
+  mp.add_mode(0.1, 0.01);
+  mp.add_mode(0.001, 1e-6);
+  mp.add_mode(0.01, 1e-4);
+  mp.add_mode(0.05, 25e-4);
+  mp.finalize();
+  EXPECT_DOUBLE_EQ(mp.k_min(), 0.001);
+  EXPECT_DOUBLE_EQ(mp.k_max(), 0.1);
+  EXPECT_GT(mp(0.02), 0.0);
+}
+
+TEST(MatterPower, GuardsMisuse) {
+  ps::MatterPower mp((ps::PowerLawSpectrum()));
+  EXPECT_THROW(mp(0.01), plinger::InvalidArgument);  // before finalize
+  mp.add_mode(0.01, 1.0);
+  mp.add_mode(0.02, 1.0);
+  EXPECT_THROW(mp.finalize(), plinger::InvalidArgument);  // too few
+}
+
+TEST(BbksTransfer, Limits) {
+  EXPECT_NEAR(ps::bbks_transfer(1e-12, 0.25, 0.5), 1.0, 1e-6);
+  EXPECT_LT(ps::bbks_transfer(1.0, 0.25, 0.5), 0.01);
+  // Monotone decreasing.
+  double prev = 2.0;
+  for (double lk = -4.0; lk < 0.5; lk += 0.25) {
+    const double t = ps::bbks_transfer(std::pow(10.0, lk), 0.25, 0.5);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+  // Larger Gamma pushes the turnover to smaller scales (higher T at
+  // fixed k).
+  EXPECT_GT(ps::bbks_transfer(0.1, 0.5, 0.5),
+            ps::bbks_transfer(0.1, 0.25, 0.5));
+}

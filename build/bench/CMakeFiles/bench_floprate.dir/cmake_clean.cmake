@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_floprate.dir/bench_floprate.cpp.o"
+  "CMakeFiles/bench_floprate.dir/bench_floprate.cpp.o.d"
+  "bench_floprate"
+  "bench_floprate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_floprate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

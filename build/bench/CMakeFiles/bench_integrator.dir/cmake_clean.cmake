@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_integrator.dir/bench_integrator.cpp.o"
+  "CMakeFiles/bench_integrator.dir/bench_integrator.cpp.o.d"
+  "bench_integrator"
+  "bench_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

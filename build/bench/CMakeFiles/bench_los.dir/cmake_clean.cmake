@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_los.dir/bench_los.cpp.o"
+  "CMakeFiles/bench_los.dir/bench_los.cpp.o.d"
+  "bench_los"
+  "bench_los.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_los.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

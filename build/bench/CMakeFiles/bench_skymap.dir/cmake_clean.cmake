@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skymap.dir/bench_skymap.cpp.o"
+  "CMakeFiles/bench_skymap.dir/bench_skymap.cpp.o.d"
+  "bench_skymap"
+  "bench_skymap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skymap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

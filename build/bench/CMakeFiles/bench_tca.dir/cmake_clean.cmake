@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tca.dir/bench_tca.cpp.o"
+  "CMakeFiles/bench_tca.dir/bench_tca.cpp.o.d"
+  "bench_tca"
+  "bench_tca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linger_cli.dir/linger_cli.cpp.o"
+  "CMakeFiles/linger_cli.dir/linger_cli.cpp.o.d"
+  "linger_cli"
+  "linger_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linger_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matter_power.dir/matter_power.cpp.o"
+  "CMakeFiles/matter_power.dir/matter_power.cpp.o.d"
+  "matter_power"
+  "matter_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matter_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_ics.dir/nbody_ics.cpp.o"
+  "CMakeFiles/nbody_ics.dir/nbody_ics.cpp.o.d"
+  "nbody_ics"
+  "nbody_ics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_ics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potential_movie.dir/potential_movie.cpp.o"
+  "CMakeFiles/potential_movie.dir/potential_movie.cpp.o.d"
+  "potential_movie"
+  "potential_movie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potential_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skymap_demo.dir/skymap_demo.cpp.o"
+  "CMakeFiles/skymap_demo.dir/skymap_demo.cpp.o.d"
+  "skymap_demo"
+  "skymap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skymap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boltzmann/equations.cpp" "src/boltzmann/CMakeFiles/plinger_boltzmann.dir/equations.cpp.o" "gcc" "src/boltzmann/CMakeFiles/plinger_boltzmann.dir/equations.cpp.o.d"
+  "/root/repo/src/boltzmann/gauge.cpp" "src/boltzmann/CMakeFiles/plinger_boltzmann.dir/gauge.cpp.o" "gcc" "src/boltzmann/CMakeFiles/plinger_boltzmann.dir/gauge.cpp.o.d"
+  "/root/repo/src/boltzmann/los.cpp" "src/boltzmann/CMakeFiles/plinger_boltzmann.dir/los.cpp.o" "gcc" "src/boltzmann/CMakeFiles/plinger_boltzmann.dir/los.cpp.o.d"
+  "/root/repo/src/boltzmann/mode_evolution.cpp" "src/boltzmann/CMakeFiles/plinger_boltzmann.dir/mode_evolution.cpp.o" "gcc" "src/boltzmann/CMakeFiles/plinger_boltzmann.dir/mode_evolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosmo/CMakeFiles/plinger_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_boltzmann.dir/equations.cpp.o"
+  "CMakeFiles/plinger_boltzmann.dir/equations.cpp.o.d"
+  "CMakeFiles/plinger_boltzmann.dir/gauge.cpp.o"
+  "CMakeFiles/plinger_boltzmann.dir/gauge.cpp.o.d"
+  "CMakeFiles/plinger_boltzmann.dir/los.cpp.o"
+  "CMakeFiles/plinger_boltzmann.dir/los.cpp.o.d"
+  "CMakeFiles/plinger_boltzmann.dir/mode_evolution.cpp.o"
+  "CMakeFiles/plinger_boltzmann.dir/mode_evolution.cpp.o.d"
+  "libplinger_boltzmann.a"
+  "libplinger_boltzmann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_boltzmann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

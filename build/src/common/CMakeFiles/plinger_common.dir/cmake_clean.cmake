@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_common.dir/error.cpp.o"
+  "CMakeFiles/plinger_common.dir/error.cpp.o.d"
+  "libplinger_common.a"
+  "libplinger_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

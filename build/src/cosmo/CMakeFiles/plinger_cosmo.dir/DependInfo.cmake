@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosmo/background.cpp" "src/cosmo/CMakeFiles/plinger_cosmo.dir/background.cpp.o" "gcc" "src/cosmo/CMakeFiles/plinger_cosmo.dir/background.cpp.o.d"
+  "/root/repo/src/cosmo/nu_density.cpp" "src/cosmo/CMakeFiles/plinger_cosmo.dir/nu_density.cpp.o" "gcc" "src/cosmo/CMakeFiles/plinger_cosmo.dir/nu_density.cpp.o.d"
+  "/root/repo/src/cosmo/params.cpp" "src/cosmo/CMakeFiles/plinger_cosmo.dir/params.cpp.o" "gcc" "src/cosmo/CMakeFiles/plinger_cosmo.dir/params.cpp.o.d"
+  "/root/repo/src/cosmo/recombination.cpp" "src/cosmo/CMakeFiles/plinger_cosmo.dir/recombination.cpp.o" "gcc" "src/cosmo/CMakeFiles/plinger_cosmo.dir/recombination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

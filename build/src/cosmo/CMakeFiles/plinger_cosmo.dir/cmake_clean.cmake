@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_cosmo.dir/background.cpp.o"
+  "CMakeFiles/plinger_cosmo.dir/background.cpp.o.d"
+  "CMakeFiles/plinger_cosmo.dir/nu_density.cpp.o"
+  "CMakeFiles/plinger_cosmo.dir/nu_density.cpp.o.d"
+  "CMakeFiles/plinger_cosmo.dir/params.cpp.o"
+  "CMakeFiles/plinger_cosmo.dir/params.cpp.o.d"
+  "CMakeFiles/plinger_cosmo.dir/recombination.cpp.o"
+  "CMakeFiles/plinger_cosmo.dir/recombination.cpp.o.d"
+  "libplinger_cosmo.a"
+  "libplinger_cosmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

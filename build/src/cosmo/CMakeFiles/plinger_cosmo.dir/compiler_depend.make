@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for plinger_cosmo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_io.dir/ascii_table.cpp.o"
+  "CMakeFiles/plinger_io.dir/ascii_table.cpp.o.d"
+  "CMakeFiles/plinger_io.dir/fortran_binary.cpp.o"
+  "CMakeFiles/plinger_io.dir/fortran_binary.cpp.o.d"
+  "CMakeFiles/plinger_io.dir/ppm.cpp.o"
+  "CMakeFiles/plinger_io.dir/ppm.cpp.o.d"
+  "libplinger_io.a"
+  "libplinger_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bessel.cpp" "src/math/CMakeFiles/plinger_math.dir/bessel.cpp.o" "gcc" "src/math/CMakeFiles/plinger_math.dir/bessel.cpp.o.d"
+  "/root/repo/src/math/brent.cpp" "src/math/CMakeFiles/plinger_math.dir/brent.cpp.o" "gcc" "src/math/CMakeFiles/plinger_math.dir/brent.cpp.o.d"
+  "/root/repo/src/math/fft.cpp" "src/math/CMakeFiles/plinger_math.dir/fft.cpp.o" "gcc" "src/math/CMakeFiles/plinger_math.dir/fft.cpp.o.d"
+  "/root/repo/src/math/legendre.cpp" "src/math/CMakeFiles/plinger_math.dir/legendre.cpp.o" "gcc" "src/math/CMakeFiles/plinger_math.dir/legendre.cpp.o.d"
+  "/root/repo/src/math/quadrature.cpp" "src/math/CMakeFiles/plinger_math.dir/quadrature.cpp.o" "gcc" "src/math/CMakeFiles/plinger_math.dir/quadrature.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/plinger_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/plinger_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/spline.cpp" "src/math/CMakeFiles/plinger_math.dir/spline.cpp.o" "gcc" "src/math/CMakeFiles/plinger_math.dir/spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_math.dir/bessel.cpp.o"
+  "CMakeFiles/plinger_math.dir/bessel.cpp.o.d"
+  "CMakeFiles/plinger_math.dir/brent.cpp.o"
+  "CMakeFiles/plinger_math.dir/brent.cpp.o.d"
+  "CMakeFiles/plinger_math.dir/fft.cpp.o"
+  "CMakeFiles/plinger_math.dir/fft.cpp.o.d"
+  "CMakeFiles/plinger_math.dir/legendre.cpp.o"
+  "CMakeFiles/plinger_math.dir/legendre.cpp.o.d"
+  "CMakeFiles/plinger_math.dir/quadrature.cpp.o"
+  "CMakeFiles/plinger_math.dir/quadrature.cpp.o.d"
+  "CMakeFiles/plinger_math.dir/rng.cpp.o"
+  "CMakeFiles/plinger_math.dir/rng.cpp.o.d"
+  "CMakeFiles/plinger_math.dir/spline.cpp.o"
+  "CMakeFiles/plinger_math.dir/spline.cpp.o.d"
+  "libplinger_math.a"
+  "libplinger_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

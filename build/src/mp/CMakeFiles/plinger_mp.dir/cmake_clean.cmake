@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_mp.dir/inproc.cpp.o"
+  "CMakeFiles/plinger_mp.dir/inproc.cpp.o.d"
+  "CMakeFiles/plinger_mp.dir/wrappers.cpp.o"
+  "CMakeFiles/plinger_mp.dir/wrappers.cpp.o.d"
+  "libplinger_mp.a"
+  "libplinger_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

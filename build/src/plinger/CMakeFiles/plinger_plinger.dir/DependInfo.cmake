@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plinger/driver.cpp" "src/plinger/CMakeFiles/plinger_plinger.dir/driver.cpp.o" "gcc" "src/plinger/CMakeFiles/plinger_plinger.dir/driver.cpp.o.d"
+  "/root/repo/src/plinger/protocol.cpp" "src/plinger/CMakeFiles/plinger_plinger.dir/protocol.cpp.o" "gcc" "src/plinger/CMakeFiles/plinger_plinger.dir/protocol.cpp.o.d"
+  "/root/repo/src/plinger/records.cpp" "src/plinger/CMakeFiles/plinger_plinger.dir/records.cpp.o" "gcc" "src/plinger/CMakeFiles/plinger_plinger.dir/records.cpp.o.d"
+  "/root/repo/src/plinger/schedule.cpp" "src/plinger/CMakeFiles/plinger_plinger.dir/schedule.cpp.o" "gcc" "src/plinger/CMakeFiles/plinger_plinger.dir/schedule.cpp.o.d"
+  "/root/repo/src/plinger/virtual_cluster.cpp" "src/plinger/CMakeFiles/plinger_plinger.dir/virtual_cluster.cpp.o" "gcc" "src/plinger/CMakeFiles/plinger_plinger.dir/virtual_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boltzmann/CMakeFiles/plinger_boltzmann.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/plinger_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmo/CMakeFiles/plinger_cosmo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

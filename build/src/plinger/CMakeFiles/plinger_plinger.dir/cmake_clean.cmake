@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_plinger.dir/driver.cpp.o"
+  "CMakeFiles/plinger_plinger.dir/driver.cpp.o.d"
+  "CMakeFiles/plinger_plinger.dir/protocol.cpp.o"
+  "CMakeFiles/plinger_plinger.dir/protocol.cpp.o.d"
+  "CMakeFiles/plinger_plinger.dir/records.cpp.o"
+  "CMakeFiles/plinger_plinger.dir/records.cpp.o.d"
+  "CMakeFiles/plinger_plinger.dir/schedule.cpp.o"
+  "CMakeFiles/plinger_plinger.dir/schedule.cpp.o.d"
+  "CMakeFiles/plinger_plinger.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/plinger_plinger.dir/virtual_cluster.cpp.o.d"
+  "libplinger_plinger.a"
+  "libplinger_plinger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_plinger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

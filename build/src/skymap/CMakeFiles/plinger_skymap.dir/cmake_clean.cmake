@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_skymap.dir/alm.cpp.o"
+  "CMakeFiles/plinger_skymap.dir/alm.cpp.o.d"
+  "CMakeFiles/plinger_skymap.dir/synthesis.cpp.o"
+  "CMakeFiles/plinger_skymap.dir/synthesis.cpp.o.d"
+  "libplinger_skymap.a"
+  "libplinger_skymap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_skymap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

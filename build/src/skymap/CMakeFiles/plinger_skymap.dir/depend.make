@@ -1,0 +1,2 @@
+# Empty dependencies file for plinger_skymap.
+# This may be replaced when dependencies are built.

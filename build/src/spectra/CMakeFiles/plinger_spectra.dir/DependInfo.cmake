@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectra/bandpower.cpp" "src/spectra/CMakeFiles/plinger_spectra.dir/bandpower.cpp.o" "gcc" "src/spectra/CMakeFiles/plinger_spectra.dir/bandpower.cpp.o.d"
+  "/root/repo/src/spectra/cl.cpp" "src/spectra/CMakeFiles/plinger_spectra.dir/cl.cpp.o" "gcc" "src/spectra/CMakeFiles/plinger_spectra.dir/cl.cpp.o.d"
+  "/root/repo/src/spectra/cosapp_data.cpp" "src/spectra/CMakeFiles/plinger_spectra.dir/cosapp_data.cpp.o" "gcc" "src/spectra/CMakeFiles/plinger_spectra.dir/cosapp_data.cpp.o.d"
+  "/root/repo/src/spectra/matterpower.cpp" "src/spectra/CMakeFiles/plinger_spectra.dir/matterpower.cpp.o" "gcc" "src/spectra/CMakeFiles/plinger_spectra.dir/matterpower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boltzmann/CMakeFiles/plinger_boltzmann.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmo/CMakeFiles/plinger_cosmo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

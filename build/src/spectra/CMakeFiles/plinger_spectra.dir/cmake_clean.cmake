@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinger_spectra.dir/bandpower.cpp.o"
+  "CMakeFiles/plinger_spectra.dir/bandpower.cpp.o.d"
+  "CMakeFiles/plinger_spectra.dir/cl.cpp.o"
+  "CMakeFiles/plinger_spectra.dir/cl.cpp.o.d"
+  "CMakeFiles/plinger_spectra.dir/cosapp_data.cpp.o"
+  "CMakeFiles/plinger_spectra.dir/cosapp_data.cpp.o.d"
+  "CMakeFiles/plinger_spectra.dir/matterpower.cpp.o"
+  "CMakeFiles/plinger_spectra.dir/matterpower.cpp.o.d"
+  "libplinger_spectra.a"
+  "libplinger_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinger_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/boltzmann/test_equations.cpp" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_equations.cpp.o" "gcc" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_equations.cpp.o.d"
+  "/root/repo/tests/boltzmann/test_gauge.cpp" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_gauge.cpp.o" "gcc" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_gauge.cpp.o.d"
+  "/root/repo/tests/boltzmann/test_k_sweep.cpp" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_k_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_k_sweep.cpp.o.d"
+  "/root/repo/tests/boltzmann/test_layout.cpp" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_layout.cpp.o" "gcc" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_layout.cpp.o.d"
+  "/root/repo/tests/boltzmann/test_los.cpp" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_los.cpp.o" "gcc" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_los.cpp.o.d"
+  "/root/repo/tests/boltzmann/test_mode_evolution.cpp" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_mode_evolution.cpp.o" "gcc" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_mode_evolution.cpp.o.d"
+  "/root/repo/tests/boltzmann/test_tca.cpp" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_tca.cpp.o" "gcc" "tests/CMakeFiles/test_boltzmann.dir/boltzmann/test_tca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boltzmann/CMakeFiles/plinger_boltzmann.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmo/CMakeFiles/plinger_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

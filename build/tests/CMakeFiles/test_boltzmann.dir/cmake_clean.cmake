@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_equations.cpp.o"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_equations.cpp.o.d"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_gauge.cpp.o"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_gauge.cpp.o.d"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_k_sweep.cpp.o"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_k_sweep.cpp.o.d"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_layout.cpp.o"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_layout.cpp.o.d"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_los.cpp.o"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_los.cpp.o.d"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_mode_evolution.cpp.o"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_mode_evolution.cpp.o.d"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_tca.cpp.o"
+  "CMakeFiles/test_boltzmann.dir/boltzmann/test_tca.cpp.o.d"
+  "test_boltzmann"
+  "test_boltzmann.pdb"
+  "test_boltzmann[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boltzmann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

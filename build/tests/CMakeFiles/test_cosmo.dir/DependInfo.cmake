@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cosmo/test_background.cpp" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_background.cpp.o" "gcc" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_background.cpp.o.d"
+  "/root/repo/tests/cosmo/test_nu_density.cpp" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_nu_density.cpp.o" "gcc" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_nu_density.cpp.o.d"
+  "/root/repo/tests/cosmo/test_params.cpp" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_params.cpp.o" "gcc" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_params.cpp.o.d"
+  "/root/repo/tests/cosmo/test_recombination.cpp" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_recombination.cpp.o" "gcc" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_recombination.cpp.o.d"
+  "/root/repo/tests/cosmo/test_reionization.cpp" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_reionization.cpp.o" "gcc" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_reionization.cpp.o.d"
+  "/root/repo/tests/cosmo/test_sweeps.cpp" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_cosmo.dir/cosmo/test_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosmo/CMakeFiles/plinger_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

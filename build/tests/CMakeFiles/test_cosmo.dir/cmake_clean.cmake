@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosmo.dir/cosmo/test_background.cpp.o"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_background.cpp.o.d"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_nu_density.cpp.o"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_nu_density.cpp.o.d"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_params.cpp.o"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_params.cpp.o.d"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_recombination.cpp.o"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_recombination.cpp.o.d"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_reionization.cpp.o"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_reionization.cpp.o.d"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_sweeps.cpp.o"
+  "CMakeFiles/test_cosmo.dir/cosmo/test_sweeps.cpp.o.d"
+  "test_cosmo"
+  "test_cosmo.pdb"
+  "test_cosmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

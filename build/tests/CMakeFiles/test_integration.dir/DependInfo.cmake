@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_pipeline.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plinger/CMakeFiles/plinger_plinger.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectra/CMakeFiles/plinger_spectra.dir/DependInfo.cmake"
+  "/root/repo/build/src/skymap/CMakeFiles/plinger_skymap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/plinger_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/boltzmann/CMakeFiles/plinger_boltzmann.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmo/CMakeFiles/plinger_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

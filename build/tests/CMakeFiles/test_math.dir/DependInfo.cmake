@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/test_bessel.cpp" "tests/CMakeFiles/test_math.dir/math/test_bessel.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_bessel.cpp.o.d"
+  "/root/repo/tests/math/test_brent.cpp" "tests/CMakeFiles/test_math.dir/math/test_brent.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_brent.cpp.o.d"
+  "/root/repo/tests/math/test_fft.cpp" "tests/CMakeFiles/test_math.dir/math/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_fft.cpp.o.d"
+  "/root/repo/tests/math/test_legendre.cpp" "tests/CMakeFiles/test_math.dir/math/test_legendre.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_legendre.cpp.o.d"
+  "/root/repo/tests/math/test_ode.cpp" "tests/CMakeFiles/test_math.dir/math/test_ode.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_ode.cpp.o.d"
+  "/root/repo/tests/math/test_quadrature.cpp" "tests/CMakeFiles/test_math.dir/math/test_quadrature.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_quadrature.cpp.o.d"
+  "/root/repo/tests/math/test_rng.cpp" "tests/CMakeFiles/test_math.dir/math/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_rng.cpp.o.d"
+  "/root/repo/tests/math/test_spline.cpp" "tests/CMakeFiles/test_math.dir/math/test_spline.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math.dir/math/test_bessel.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_bessel.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_brent.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_brent.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_fft.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_fft.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_legendre.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_legendre.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_ode.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_ode.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_quadrature.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_quadrature.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_rng.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_rng.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_spline.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_spline.cpp.o.d"
+  "test_math"
+  "test_math.pdb"
+  "test_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mp/test_inproc.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_inproc.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_inproc.cpp.o.d"
+  "/root/repo/tests/mp/test_semantics.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_semantics.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_semantics.cpp.o.d"
+  "/root/repo/tests/mp/test_wrappers.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_wrappers.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_wrappers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/plinger_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

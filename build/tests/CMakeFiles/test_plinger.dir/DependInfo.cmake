@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plinger/test_autotask.cpp" "tests/CMakeFiles/test_plinger.dir/plinger/test_autotask.cpp.o" "gcc" "tests/CMakeFiles/test_plinger.dir/plinger/test_autotask.cpp.o.d"
+  "/root/repo/tests/plinger/test_faults.cpp" "tests/CMakeFiles/test_plinger.dir/plinger/test_faults.cpp.o" "gcc" "tests/CMakeFiles/test_plinger.dir/plinger/test_faults.cpp.o.d"
+  "/root/repo/tests/plinger/test_protocol.cpp" "tests/CMakeFiles/test_plinger.dir/plinger/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/test_plinger.dir/plinger/test_protocol.cpp.o.d"
+  "/root/repo/tests/plinger/test_records.cpp" "tests/CMakeFiles/test_plinger.dir/plinger/test_records.cpp.o" "gcc" "tests/CMakeFiles/test_plinger.dir/plinger/test_records.cpp.o.d"
+  "/root/repo/tests/plinger/test_schedule.cpp" "tests/CMakeFiles/test_plinger.dir/plinger/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_plinger.dir/plinger/test_schedule.cpp.o.d"
+  "/root/repo/tests/plinger/test_virtual_cluster.cpp" "tests/CMakeFiles/test_plinger.dir/plinger/test_virtual_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_plinger.dir/plinger/test_virtual_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plinger/CMakeFiles/plinger_plinger.dir/DependInfo.cmake"
+  "/root/repo/build/src/boltzmann/CMakeFiles/plinger_boltzmann.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmo/CMakeFiles/plinger_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/plinger_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/plinger_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plinger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

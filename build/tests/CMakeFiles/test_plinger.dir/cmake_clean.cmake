@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plinger.dir/plinger/test_autotask.cpp.o"
+  "CMakeFiles/test_plinger.dir/plinger/test_autotask.cpp.o.d"
+  "CMakeFiles/test_plinger.dir/plinger/test_faults.cpp.o"
+  "CMakeFiles/test_plinger.dir/plinger/test_faults.cpp.o.d"
+  "CMakeFiles/test_plinger.dir/plinger/test_protocol.cpp.o"
+  "CMakeFiles/test_plinger.dir/plinger/test_protocol.cpp.o.d"
+  "CMakeFiles/test_plinger.dir/plinger/test_records.cpp.o"
+  "CMakeFiles/test_plinger.dir/plinger/test_records.cpp.o.d"
+  "CMakeFiles/test_plinger.dir/plinger/test_schedule.cpp.o"
+  "CMakeFiles/test_plinger.dir/plinger/test_schedule.cpp.o.d"
+  "CMakeFiles/test_plinger.dir/plinger/test_virtual_cluster.cpp.o"
+  "CMakeFiles/test_plinger.dir/plinger/test_virtual_cluster.cpp.o.d"
+  "test_plinger"
+  "test_plinger.pdb"
+  "test_plinger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plinger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skymap.dir/skymap/test_alm.cpp.o"
+  "CMakeFiles/test_skymap.dir/skymap/test_alm.cpp.o.d"
+  "CMakeFiles/test_skymap.dir/skymap/test_analysis.cpp.o"
+  "CMakeFiles/test_skymap.dir/skymap/test_analysis.cpp.o.d"
+  "CMakeFiles/test_skymap.dir/skymap/test_synthesis.cpp.o"
+  "CMakeFiles/test_skymap.dir/skymap/test_synthesis.cpp.o.d"
+  "test_skymap"
+  "test_skymap.pdb"
+  "test_skymap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skymap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectra.dir/spectra/test_bandpower.cpp.o"
+  "CMakeFiles/test_spectra.dir/spectra/test_bandpower.cpp.o.d"
+  "CMakeFiles/test_spectra.dir/spectra/test_cl.cpp.o"
+  "CMakeFiles/test_spectra.dir/spectra/test_cl.cpp.o.d"
+  "CMakeFiles/test_spectra.dir/spectra/test_cross.cpp.o"
+  "CMakeFiles/test_spectra.dir/spectra/test_cross.cpp.o.d"
+  "CMakeFiles/test_spectra.dir/spectra/test_matterpower.cpp.o"
+  "CMakeFiles/test_spectra.dir/spectra/test_matterpower.cpp.o.d"
+  "test_spectra"
+  "test_spectra.pdb"
+  "test_spectra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_cosmo[1]_include.cmake")
+include("/root/repo/build/tests/test_boltzmann[1]_include.cmake")
+include("/root/repo/build/tests/test_spectra[1]_include.cmake")
+include("/root/repo/build/tests/test_mp[1]_include.cmake")
+include("/root/repo/build/tests/test_plinger[1]_include.cmake")
+include("/root/repo/build/tests/test_skymap[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

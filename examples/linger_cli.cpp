@@ -12,10 +12,16 @@
 //   h (0.5) omega_b (0.05) omega_lambda (0) t_cmb (2.726) n_s (1.0)
 //   k_min (1e-4) k_max (0.1) n_k (32) grid (log|linear)
 //   workers (2) rtol (1e-5) z_reion (0) ic (adiabatic|isocurvature)
+//   trace (0) trace_json (linger_trace.json)
+//
+// With trace=1 the run records per-mode/per-worker spans and protocol
+// messages; the CLI then prints the Figure-1 style per-worker busy/idle
+// report and writes a chrome://tracing-loadable JSON timeline.
 
 #include <cstdio>
 #include <cmath>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -25,6 +31,7 @@
 #include "math/spline.hpp"
 #include "plinger/driver.hpp"
 #include "plinger/records.hpp"
+#include "plinger/trace.hpp"
 
 namespace {
 
@@ -102,6 +109,9 @@ int main(int argc, char** argv) {
   }
   parallel::RunSetup setup;
   setup.n_k = static_cast<double>(schedule.size());
+  setup.trace.enabled = get(kv, "trace", 0.0) != 0.0;
+  const std::string trace_json =
+      gets(kv, "trace_json", "linger_trace.json");
   const int workers = static_cast<int>(get(kv, "workers", 2));
 
   std::printf("running %zu modes on %d workers...\n", schedule.size(),
@@ -131,6 +141,21 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %zu rows + %zu binary records\n",
               table.rows_written(), records.records_written());
+
+  if (out.trace) {
+    // The Figure-1 quantities, from the recorded per-mode spans.
+    const auto report = parallel::make_run_report(*out.trace);
+    std::printf("\n");
+    parallel::write_ascii_report(std::cout, report);
+    std::ofstream tj(trace_json);
+    if (tj.is_open()) {
+      parallel::write_chrome_trace(tj, *out.trace);
+      std::printf("wrote %s (load in chrome://tracing)\n",
+                  trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+    }
+  }
   if (!out.master.failed_ik.empty()) {
     std::printf("WARNING: %zu wavenumbers failed integration\n",
                 out.master.failed_ik.size());

@@ -44,6 +44,11 @@ void InProcWorld::send(int from, int to, int tag,
         (tag >= 1 && tag <= 6) ? static_cast<std::size_t>(tag) : 0;
     ++stats_.per_tag[slot];
   }
+  if (observer_) observer_(from, to, tag, bytes);
+}
+
+void InProcWorld::set_send_observer(SendObserver observer) {
+  observer_ = std::move(observer);
 }
 
 const Message* InProcWorld::find_match(const Mailbox& box, int source,

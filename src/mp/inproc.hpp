@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -63,6 +64,14 @@ class InProcWorld {
   /// Transport counters accumulated so far.
   TransportStats stats() const;
 
+  /// Called once per send with (from, to, tag, payload bytes) — the
+  /// run-trace layer's tap.  Install before ranks start exchanging
+  /// messages and leave it in place for the world's lifetime; the
+  /// callback must be thread-safe (sends are concurrent).
+  using SendObserver =
+      std::function<void(int from, int to, int tag, std::size_t bytes)>;
+  void set_send_observer(SendObserver observer);
+
  private:
   struct Mailbox {
     mutable std::mutex mutex;
@@ -75,6 +84,7 @@ class InProcWorld {
 
   Library lib_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  SendObserver observer_;
 
   mutable std::mutex stats_mutex_;
   TransportStats stats_;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -12,6 +13,19 @@ namespace plinger::parallel {
 using boltzmann::ModeEvolver;
 using boltzmann::ModeResult;
 
+namespace {
+
+/// Shared driver epilogue: close the recorder into the run output.
+void attach_trace(RunOutput& out, std::unique_ptr<TraceRecorder> rec,
+                  int n_workers) {
+  if (rec) {
+    out.trace =
+        std::make_shared<const Trace>(rec->finish(n_workers));
+  }
+}
+
+}  // namespace
+
 RunOutput run_linger_serial(const cosmo::Background& bg,
                             const cosmo::Recombination& rec,
                             const boltzmann::PerturbationConfig& cfg,
@@ -20,6 +34,10 @@ RunOutput run_linger_serial(const cosmo::Background& bg,
   RunOutput out;
   out.n_workers = 1;
   const double w0 = wallclock_seconds();
+  std::unique_ptr<TraceRecorder> recorder;
+  if (setup.trace.enabled) {
+    recorder = std::make_unique<TraceRecorder>(setup.trace);
+  }
 
   ModeEvolver evolver(bg, rec, cfg);
   const double tau_end =
@@ -35,12 +53,19 @@ RunOutput run_linger_serial(const cosmo::Background& bg,
       req.lmax_photon = boltzmann::lmax_photon_for_k(
           req.k, tau_end, static_cast<std::size_t>(setup.lmax_cap));
     }
+    if (recorder) recorder->record_assign(ik, 1);
+    const double t0 = recorder ? recorder->now() : 0.0;
     ModeResult r = evolver.evolve(req, tau_end);
+    if (recorder) {
+      recorder->record_span(ik, req.k, 1, /*completed=*/true, t0,
+                            recorder->now(), r.cpu_seconds, r.flops);
+    }
     out.total_worker_cpu_seconds += r.cpu_seconds;
     out.total_flops += r.flops;
     out.results.emplace(ik, std::move(r));
   }
   out.wallclock_seconds = wallclock_seconds() - w0;
+  attach_trace(out, std::move(recorder), 1);
   return out;
 }
 
@@ -53,6 +78,10 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
   RunOutput out;
   out.n_workers = n_threads;
   const double w0 = wallclock_seconds();
+  std::unique_ptr<TraceRecorder> recorder;
+  if (setup.trace.enabled) {
+    recorder = std::make_unique<TraceRecorder>(setup.trace);
+  }
   const double tau_end =
       setup.tau_end > 0.0 ? setup.tau_end : bg.conformal_age();
 
@@ -72,7 +101,8 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(n_threads));
     for (int t = 0; t < n_threads; ++t) {
-      threads.emplace_back([&] {
+      threads.emplace_back([&, t] {
+        const int worker = t + 1;  // worker ids 1..n, as in PLINGER
         try {
           ModeEvolver evolver(bg, rec, cfg);
           for (;;) {
@@ -86,7 +116,14 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
                   req.k, tau_end,
                   static_cast<std::size_t>(setup.lmax_cap));
             }
+            if (recorder) recorder->record_assign(ik, worker);
+            const double t0 = recorder ? recorder->now() : 0.0;
             ModeResult r = evolver.evolve(req, tau_end);
+            if (recorder) {
+              recorder->record_span(ik, req.k, worker, /*completed=*/true,
+                                    t0, recorder->now(), r.cpu_seconds,
+                                    r.flops);
+            }
             const std::lock_guard<std::mutex> lock(out_mutex);
             out.total_worker_cpu_seconds += r.cpu_seconds;
             out.total_flops += r.flops;
@@ -101,6 +138,7 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
   }
   if (first_error) std::rethrow_exception(first_error);
   out.wallclock_seconds = wallclock_seconds() - w0;
+  attach_trace(out, std::move(recorder), n_threads);
   return out;
 }
 
@@ -116,6 +154,17 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
   const double w0 = wallclock_seconds();
 
   mp::InProcWorld world(n_workers + 1, library);
+  std::unique_ptr<TraceRecorder> recorder;
+  if (setup.trace.enabled) {
+    recorder = std::make_unique<TraceRecorder>(setup.trace);
+    if (setup.trace.capture_messages) {
+      world.set_send_observer(
+          [r = recorder.get()](int from, int to, int tag,
+                               std::size_t bytes) {
+            r->record_message(tag, from, to, bytes);
+          });
+    }
+  }
 
   // Worker threads (ranks 1..n).  Exceptions are captured and rethrown
   // on the master thread after join.
@@ -128,7 +177,7 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
       try {
         ModeEvolver evolver(bg, rec, cfg);
         mp::PassContext ctx = mp::initpass(world, rank);
-        run_worker(ctx, schedule, evolver);
+        run_worker(ctx, schedule, evolver, recorder.get());
         mp::endpass(ctx);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -145,7 +194,8 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
                               out.total_worker_cpu_seconds += r.cpu_seconds;
                               out.total_flops += r.flops;
                               out.results.emplace(ik, r);
-                            });
+                            },
+                            /*max_retries=*/2, recorder.get());
     mp::endpass(ctx);
   }
   threads.clear();  // join
@@ -153,6 +203,7 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
 
   out.wallclock_seconds = wallclock_seconds() - w0;
   out.transport = world.stats();
+  attach_trace(out, std::move(recorder), n_workers);
   return out;
 }
 

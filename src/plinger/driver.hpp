@@ -14,12 +14,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "boltzmann/mode_evolution.hpp"
 #include "mp/inproc.hpp"
 #include "plinger/protocol.hpp"
 #include "plinger/schedule.hpp"
+#include "plinger/trace.hpp"
 
 namespace plinger::parallel {
 
@@ -33,6 +35,9 @@ struct RunOutput {
   mp::TransportStats transport;  ///< zeros for the serial driver
   MasterStats master;            ///< fault-handling accounting
   int n_workers = 0;
+  /// Per-mode/per-worker event trace; null unless RunSetup::trace
+  /// enabled it.  Feed to make_run_report() / write_chrome_trace().
+  std::shared_ptr<const Trace> trace;
 
   /// Paper §5.2: (total CPU time) / (wallclock x number of workers).
   double parallel_efficiency() const {

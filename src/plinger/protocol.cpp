@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "common/timing.hpp"
 #include "plinger/records.hpp"
 
 namespace plinger::parallel {
@@ -26,7 +27,7 @@ RunSetup RunSetup::from_buffer(std::span<const double> b) {
 
 MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
                        const RunSetup& setup, const ResultSink& sink,
-                       int max_retries) {
+                       int max_retries, TraceRecorder* trace) {
   PLINGER_REQUIRE(ctx.is_master(), "run_master called on a worker rank");
   const int n_workers = ctx.world->size() - 1;
   PLINGER_REQUIRE(n_workers >= 1, "run_master: no workers");
@@ -104,6 +105,7 @@ MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
       }
       if (next != 0) {
         // Reply with the next wavenumber (tag 3).
+        if (trace) trace->record_assign(next, itid);
         const double y = static_cast<double>(next);
         mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagAssign,
                        itid);
@@ -119,7 +121,7 @@ MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
 }
 
 void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
-                const EvolveFn& evolve) {
+                const EvolveFn& evolve, TraceRecorder* trace) {
   PLINGER_REQUIRE(!ctx.is_master(), "run_worker called on the master rank");
 
   // Receive initial data from master (tag 1).
@@ -154,14 +156,26 @@ void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
       req.lmax_photon = boltzmann::lmax_photon_for_k(
           req.k, tau_end, static_cast<std::size_t>(setup.lmax_cap));
     }
+    const double t_start = trace ? trace->now() : 0.0;
+    const double cpu0 = trace ? thread_cpu_seconds() : 0.0;
     try {
       const boltzmann::ModeResult result = evolve(req, tau_end);
+      if (trace) {
+        trace->record_span(ik, req.k, ctx.mytid, /*completed=*/true,
+                           t_start, trace->now(), result.cpu_seconds,
+                           result.flops);
+      }
       const auto header = pack_header(ik, result);
       const auto payload = pack_payload(ik, result);
       mp::mysendreal(ctx, header, kTagHeader, ctx.mastid);
       mp::mysendreal(ctx, payload, kTagPayload, ctx.mastid);
     } catch (const Error&) {
       // Report the failure (tag 7) and keep serving.
+      if (trace) {
+        trace->record_span(ik, req.k, ctx.mytid, /*completed=*/false,
+                           t_start, trace->now(),
+                           thread_cpu_seconds() - cpu0, 0);
+      }
       const double failed = static_cast<double>(ik);
       mp::mysendreal(ctx, std::span<const double>(&failed, 1), kTagError,
                      ctx.mastid);
@@ -170,7 +184,8 @@ void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
 }
 
 void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
-                const boltzmann::ModeEvolver& evolver) {
+                const boltzmann::ModeEvolver& evolver,
+                TraceRecorder* trace) {
   run_worker(ctx, schedule,
              [&evolver](const boltzmann::EvolveRequest& req,
                         double tau_end) {
@@ -184,7 +199,8 @@ void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
                  r.lmax_photon = boltzmann::lmax_photon_for_k(r.k, end);
                }
                return evolver.evolve(r, end);
-             });
+             },
+             trace);
 }
 
 }  // namespace plinger::parallel

@@ -25,6 +25,7 @@
 #include "boltzmann/mode_evolution.hpp"
 #include "mp/wrappers.hpp"
 #include "plinger/schedule.hpp"
+#include "plinger/trace.hpp"
 
 namespace plinger::parallel {
 
@@ -50,6 +51,10 @@ struct RunSetup {
   double n_k = 0.0;        ///< grid size (workers cross-check)
   double reserved = 0.0;
 
+  /// Host-side run tracing (trace.hpp); never broadcast on the wire —
+  /// to_buffer()/from_buffer() carry only the 5 paper doubles above.
+  TraceConfig trace;
+
   std::array<double, 5> to_buffer() const;
   static RunSetup from_buffer(std::span<const double> b);
 };
@@ -68,9 +73,10 @@ struct MasterStats {
 /// collect results, stop every worker.  Returns when all of both has
 /// happened.  A wavenumber reported failed (tag 7) is requeued up to
 /// max_retries times, then recorded in MasterStats::failed_ik.
+/// `trace` (optional) records tag-3 assignment events; null disables.
 MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
                        const RunSetup& setup, const ResultSink& sink,
-                       int max_retries = 2);
+                       int max_retries = 2, TraceRecorder* trace = nullptr);
 
 /// What a worker does for one wavenumber; lets tests and alternative
 /// backends substitute the integration.
@@ -80,11 +86,14 @@ using EvolveFn = std::function<boltzmann::ModeResult(
 /// The worker loop ("kidsub"): receive setup, request work, integrate,
 /// report, repeat until stopped.  An exception from the evolve function
 /// is reported to the master as tag 7 and the worker keeps serving.
+/// `trace` (optional) records one ModeSpan per attempt, including the
+/// failed attempts behind every tag-7 report; null disables.
 void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
-                const EvolveFn& evolve);
+                const EvolveFn& evolve, TraceRecorder* trace = nullptr);
 
 /// Convenience overload binding a ModeEvolver (must outlive the call).
 void run_worker(mp::PassContext& ctx, const KSchedule& schedule,
-                const boltzmann::ModeEvolver& evolver);
+                const boltzmann::ModeEvolver& evolver,
+                TraceRecorder* trace = nullptr);
 
 }  // namespace plinger::parallel

@@ -34,7 +34,7 @@ struct Arrival {
 VirtualRunResult simulate_virtual_cluster(
     const KSchedule& schedule, int n_workers, const CostModel& cost,
     const LinkModel& link, const MessageSizer& sizer,
-    const std::vector<double>& worker_speed) {
+    const std::vector<double>& worker_speed, TraceRecorder* trace) {
   PLINGER_REQUIRE(n_workers >= 1, "virtual cluster: need >= 1 worker");
   PLINGER_REQUIRE(worker_speed.empty() ||
                       worker_speed.size() ==
@@ -62,6 +62,10 @@ VirtualRunResult simulate_virtual_cluster(
     queue.push(Arrival{t, w, false, 0.0});
     out.n_messages += 2;
     out.n_bytes += bcast_bytes + request_bytes;
+    if (trace) {
+      trace->record_message(1, 0, w, bcast_bytes, 0.0);
+      trace->record_message(2, w, 0, request_bytes, t);
+    }
   }
 
   double master_free = 0.0;
@@ -94,16 +98,29 @@ VirtualRunResult simulate_virtual_cluster(
       const double cpu = cost(k) / speed_of(a.worker);
       PLINGER_REQUIRE(cpu >= 0.0, "virtual cluster: negative cost");
       const std::size_t result_bytes = sizer.result_bytes(k);
-      const double done = master_free + link.transit(assign_bytes) + cpu +
-                          link.transit(result_bytes);
+      const double t_start = master_free + link.transit(assign_bytes);
+      const double done = t_start + cpu + link.transit(result_bytes);
       out.worker_busy_seconds[static_cast<std::size_t>(a.worker)] += cpu;
       out.n_messages += 2;  // tags 4 and 5 combined in result_bytes
       out.n_bytes += result_bytes;
+      if (trace) {
+        trace->record_assign(ik, a.worker, master_free);
+        trace->record_message(3, 0, a.worker, assign_bytes, master_free);
+        trace->record_span(ik, k, a.worker, /*completed=*/true, t_start,
+                           t_start + cpu, cpu, 0);
+        trace->record_message(4, a.worker, 0,
+                              kHeaderLength * sizeof(double), done);
+        trace->record_message(5, a.worker, 0,
+                              result_bytes - kHeaderLength * sizeof(double),
+                              done);
+      }
       queue.push(Arrival{done, a.worker, true, cpu});
       ik = schedule.ik_next(ik);
+    } else if (trace) {
+      // Stop message (tag 6) already accounted above; the worker leaves
+      // the simulation.
+      trace->record_message(6, 0, a.worker, assign_bytes, master_free);
     }
-    // ik == 0: stop message (tag 6) already accounted above; the worker
-    // leaves the simulation.
   }
 
   PLINGER_REQUIRE(ikdone == schedule.size(),

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "plinger/schedule.hpp"
+#include "plinger/trace.hpp"
 
 namespace plinger::parallel {
 
@@ -67,9 +68,14 @@ struct MessageSizer {
 /// paper's heterogeneous PSC environment (C90 master driving T3D nodes)
 /// or mixed-generation clusters; empty means all nodes at speed 1, and a
 /// worker's compute time for k is cost(k) / speed.
+/// trace (optional) receives the replay's spans/assigns/messages stamped
+/// with *virtual* times; the caller closes it with
+/// finish(n_workers, result.wallclock_seconds) and can then derive the
+/// same RunReport the real drivers produce.
 VirtualRunResult simulate_virtual_cluster(
     const KSchedule& schedule, int n_workers, const CostModel& cost,
     const LinkModel& link, const MessageSizer& sizer,
-    const std::vector<double>& worker_speed = {});
+    const std::vector<double>& worker_speed = {},
+    TraceRecorder* trace = nullptr);
 
 }  // namespace plinger::parallel

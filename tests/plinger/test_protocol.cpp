@@ -56,26 +56,9 @@ TEST(Protocol, SerialRunCompletesAllWavenumbers) {
   EXPECT_GT(out.total_flops, 0u);
 }
 
-TEST(Protocol, ParallelMatchesSerialBitwise) {
-  // "PLINGER = LINGER over message passing": results must agree exactly.
-  const auto& w = world();
-  const auto sched = small_schedule(6);
-  const auto setup = small_setup(sched);
-  const auto serial =
-      pp::run_linger_serial(w.bg, w.rec, w.cfg, sched, setup);
-  const auto parallel =
-      pp::run_plinger_threads(w.bg, w.rec, w.cfg, sched, setup, 3);
-  ASSERT_EQ(parallel.results.size(), serial.results.size());
-  for (const auto& [ik, r_ser] : serial.results) {
-    const auto& r_par = parallel.results.at(ik);
-    EXPECT_EQ(r_par.final_state.delta_c, r_ser.final_state.delta_c) << ik;
-    EXPECT_EQ(r_par.final_state.eta, r_ser.final_state.eta) << ik;
-    ASSERT_EQ(r_par.f_gamma.size(), r_ser.f_gamma.size());
-    for (std::size_t l = 0; l < r_ser.f_gamma.size(); ++l) {
-      EXPECT_EQ(r_par.f_gamma[l], r_ser.f_gamma[l]) << ik << " " << l;
-    }
-  }
-}
+// "PLINGER = LINGER over message passing": the bitwise serial/parallel
+// equality check lives in test_driver_equivalence.cpp, which sweeps all
+// three drivers x all three issue orders x worker counts {1, 2, 4}.
 
 TEST(Protocol, MoreWorkersThanWork) {
   const auto& w = world();

@@ -1,0 +1,141 @@
+// bench_checkpoint: checkpoint overhead vs flush interval.
+//
+// COSMICS shipped restart files because production runs died on shared
+// queues; the question for our ModeResultStore is what the insurance
+// premium is.  This bench measures, on a real (small) serial run:
+//
+//   * end-to-end wallclock with no store vs with a store at flush
+//     intervals 1 (checkpoint every mode), 4, 16, and 0 (flush only on
+//     close), plus the journal size,
+//   * resume cost: time to reopen the finished journal and load every
+//     record (the startup price of a fully resumed run),
+//   * raw journal append throughput (records/s) per flush interval,
+//     isolated from the integrator.
+//
+// The expected picture: per-mode integration dwarfs the append+flush
+// cost (the paper's message-economics argument applies to disk too), so
+// flush_interval=1 — the safest setting — is the right default.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "math/spline.hpp"
+#include "plinger/driver.hpp"
+#include "store/identity.hpp"
+#include "store/mode_result_store.hpp"
+
+using namespace plinger;
+
+namespace {
+
+const char* kPath = "bench_checkpoint_store.bin";
+
+struct World {
+  cosmo::Background bg{cosmo::CosmoParams::standard_cdm()};
+  cosmo::Recombination rec{bg};
+  boltzmann::PerturbationConfig cfg;
+  parallel::KSchedule schedule{math::linspace(0.002, 0.02, 16),
+                               parallel::IssueOrder::largest_first};
+  World() {
+    cfg.lmax_photon = 24;
+    cfg.lmax_polarization = 12;
+    cfg.lmax_neutrino = 12;
+    cfg.rtol = 1e-5;
+  }
+  parallel::RunSetup setup() const {
+    parallel::RunSetup s;
+    s.tau_end = 600.0;
+    s.lmax_cap = 24;
+    s.n_k = static_cast<double>(schedule.size());
+    return s;
+  }
+};
+
+void remove_journal() {
+  std::error_code ec;
+  std::filesystem::remove(kPath, ec);
+}
+
+}  // namespace
+
+int main() {
+  World w;
+  std::printf("bench_checkpoint: %zu modes, serial driver\n\n",
+              w.schedule.size());
+
+  // Baseline: no store.
+  double t0 = wallclock_seconds();
+  const auto base =
+      parallel::run_linger_serial(w.bg, w.rec, w.cfg, w.schedule,
+                                  w.setup());
+  const double t_base = wallclock_seconds() - t0;
+  std::printf("%-22s %10.4f s   (reference)\n", "no store", t_base);
+
+  // With a store, per flush interval.
+  const std::size_t intervals[] = {1, 4, 16, 0};
+  for (const std::size_t fi : intervals) {
+    remove_journal();
+    auto setup = w.setup();
+    setup.store.path = kPath;
+    setup.store.flush_interval = fi;
+    t0 = wallclock_seconds();
+    const auto out =
+        parallel::run_linger_serial(w.bg, w.rec, w.cfg, w.schedule, setup);
+    const double t_run = wallclock_seconds() - t0;
+    const auto bytes = std::filesystem::file_size(kPath);
+
+    // Resume cost: reopen and load everything.
+    t0 = wallclock_seconds();
+    const auto out2 =
+        parallel::run_linger_serial(w.bg, w.rec, w.cfg, w.schedule, setup);
+    const double t_resume = wallclock_seconds() - t0;
+
+    char label[40];
+    std::snprintf(label, sizeof(label), "flush_interval=%zu", fi);
+    std::printf("%-22s %10.4f s   overhead %+6.2f%%   journal %6llu B   "
+                "resume %.4f s (%zu loaded)\n",
+                label, t_run, 100.0 * (t_run - t_base) / t_base,
+                static_cast<unsigned long long>(bytes), t_resume,
+                out2.n_modes_loaded);
+    if (out.results.size() != base.results.size()) {
+      std::printf("ERROR: store run lost modes\n");
+      return 1;
+    }
+  }
+
+  // Raw append throughput, integrator excluded: rewrite the journal from
+  // the already-computed results many times over.
+  std::printf("\nraw journal append throughput (integration excluded):\n");
+  const store::RunIdentity id = store::run_identity(
+      w.bg.params(), w.cfg, w.schedule.k_grid(), 600.0, 24.0);
+  const int reps = 200;
+  for (const std::size_t fi : intervals) {
+    remove_journal();
+    store::StoreOptions opts;
+    opts.path = kPath;
+    opts.resume = false;
+    opts.flush_interval = fi;
+    std::size_t n = 0;
+    t0 = wallclock_seconds();
+    {
+      store::ModeResultStore st(opts, id, w.schedule.size() * reps);
+      for (int rep = 0; rep < reps; ++rep) {
+        for (const auto& [ik, r] : base.results) {
+          st.append(ik + static_cast<std::size_t>(rep) *
+                             w.schedule.size(),
+                    r);
+          ++n;
+        }
+      }
+    }
+    const double dt = wallclock_seconds() - t0;
+    std::printf("  flush_interval=%-4zu %8.0f records/s\n", fi,
+                static_cast<double>(n) / dt);
+  }
+
+  remove_journal();
+  return 0;
+}

@@ -4,9 +4,13 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/timing.hpp"
+#include "cosmo/background.hpp"
+#include "store/identity.hpp"
+#include "store/mode_result_store.hpp"
 
 namespace plinger::parallel {
 
@@ -24,6 +28,55 @@ void attach_trace(RunOutput& out, std::unique_ptr<TraceRecorder> rec,
   }
 }
 
+/// Host-side checkpoint binding shared by the three drivers: the open
+/// journal plus the residual schedule covering what is left to compute.
+struct StoreBinding {
+  std::unique_ptr<store::ModeResultStore> store;
+  std::optional<KSchedule> residual;
+
+  const KSchedule& effective(const KSchedule& base) const {
+    return residual ? *residual : base;
+  }
+  bool stop_requested() const {
+    return store != nullptr && store->stop_requested();
+  }
+};
+
+/// Open the journal named in setup.store (validating the run identity),
+/// mark its modes done in `out`, and build the residual schedule.
+/// Loaded modes appear in the trace as zero-cost spans on the synthetic
+/// "worker 0" (store) row, so reports stay honest: they contribute
+/// completed-mode counts but no busy time, CPU, or flops to this run.
+StoreBinding bind_store(const cosmo::Background& bg,
+                        const boltzmann::PerturbationConfig& cfg,
+                        const KSchedule& schedule, const RunSetup& setup,
+                        RunOutput& out, TraceRecorder* recorder) {
+  StoreBinding b;
+  if (setup.store.path.empty()) return b;
+  const store::RunIdentity id =
+      store::run_identity(bg.params(), cfg, schedule.k_grid(),
+                          setup.tau_end, setup.lmax_cap);
+  b.store = std::make_unique<store::ModeResultStore>(setup.store, id,
+                                                     schedule.size());
+  if (!setup.store.resume || b.store->n_loaded() == 0) return b;
+  for (const auto& [ik, r] : b.store->loaded()) {
+    if (recorder) {
+      const double t = recorder->now();
+      recorder->record_span(ik, r.k, /*worker=*/0, /*completed=*/true, t,
+                            t, 0.0, 0);
+    }
+    out.results.emplace(ik, r);
+  }
+  out.n_modes_loaded = b.store->n_loaded();
+  std::vector<std::size_t> remaining;
+  for (std::size_t ik = schedule.ik_first(); ik != 0;
+       ik = schedule.ik_next(ik)) {
+    if (!b.store->contains(ik)) remaining.push_back(ik);
+  }
+  b.residual = schedule.residual(remaining);
+  return b;
+}
+
 }  // namespace
 
 RunOutput run_linger_serial(const cosmo::Background& bg,
@@ -39,16 +92,21 @@ RunOutput run_linger_serial(const cosmo::Background& bg,
     recorder = std::make_unique<TraceRecorder>(setup.trace);
   }
 
+  StoreBinding store =
+      bind_store(bg, cfg, schedule, setup, out, recorder.get());
+  const KSchedule& issue = store.effective(schedule);
+
   ModeEvolver evolver(bg, rec, cfg);
   const double tau_end =
       setup.tau_end > 0.0 ? setup.tau_end : bg.conformal_age();
 
   // The serial main loop in k (paper §4: "The main loop of the serial
-  // code is in k"), walked in the schedule's issue order.
-  for (std::size_t ik = schedule.ik_first(); ik != 0;
-       ik = schedule.ik_next(ik)) {
+  // code is in k"), walked in the schedule's issue order (only the
+  // residual modes when resuming from a store).
+  for (std::size_t ik = issue.ik_first(); ik != 0;
+       ik = issue.ik_next(ik)) {
     boltzmann::EvolveRequest req;
-    req.k = schedule.k_of_ik(ik);
+    req.k = issue.k_of_ik(ik);
     if (setup.lmax_cap > 0.0) {
       req.lmax_photon = boltzmann::lmax_photon_for_k(
           req.k, tau_end, static_cast<std::size_t>(setup.lmax_cap));
@@ -60,9 +118,12 @@ RunOutput run_linger_serial(const cosmo::Background& bg,
       recorder->record_span(ik, req.k, 1, /*completed=*/true, t0,
                             recorder->now(), r.cpu_seconds, r.flops);
     }
+    if (store.store) store.store->append(ik, r);
+    ++out.n_modes_computed;
     out.total_worker_cpu_seconds += r.cpu_seconds;
     out.total_flops += r.flops;
     out.results.emplace(ik, std::move(r));
+    if (store.stop_requested()) break;  // flush-then-stop hook
   }
   out.wallclock_seconds = wallclock_seconds() - w0;
   attach_trace(out, std::move(recorder), 1);
@@ -85,11 +146,15 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
   const double tau_end =
       setup.tau_end > 0.0 ? setup.tau_end : bg.conformal_age();
 
+  StoreBinding store =
+      bind_store(bg, cfg, schedule, setup, out, recorder.get());
+  const KSchedule& issue = store.effective(schedule);
+
   // Flatten the issue order once, then hand out items via an atomic
   // cursor (the loop-level self-scheduling Autotasking provided).
   std::vector<std::size_t> order;
-  for (std::size_t ik = schedule.ik_first(); ik != 0;
-       ik = schedule.ik_next(ik)) {
+  for (std::size_t ik = issue.ik_first(); ik != 0;
+       ik = issue.ik_next(ik)) {
     order.push_back(ik);
   }
   std::atomic<std::size_t> cursor{0};
@@ -106,11 +171,12 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
         try {
           ModeEvolver evolver(bg, rec, cfg);
           for (;;) {
+            if (store.stop_requested()) break;  // flush-then-stop hook
             const std::size_t i = cursor.fetch_add(1);
             if (i >= order.size()) break;
             const std::size_t ik = order[i];
             boltzmann::EvolveRequest req;
-            req.k = schedule.k_of_ik(ik);
+            req.k = issue.k_of_ik(ik);
             if (setup.lmax_cap > 0.0) {
               req.lmax_photon = boltzmann::lmax_photon_for_k(
                   req.k, tau_end,
@@ -125,6 +191,8 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
                                     r.flops);
             }
             const std::lock_guard<std::mutex> lock(out_mutex);
+            if (store.store) store.store->append(ik, r);
+            ++out.n_modes_computed;
             out.total_worker_cpu_seconds += r.cpu_seconds;
             out.total_flops += r.flops;
             out.results.emplace(ik, std::move(r));
@@ -166,6 +234,9 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
     }
   }
 
+  StoreBinding store =
+      bind_store(bg, cfg, schedule, setup, out, recorder.get());
+
   // Worker threads (ranks 1..n).  Exceptions are captured and rethrown
   // on the master thread after join.
   std::mutex error_mutex;
@@ -186,16 +257,27 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
     });
   }
 
-  // Master (rank 0) on the calling thread.
+  // Master (rank 0) on the calling thread.  Checkpointing happens here,
+  // in the master loop, as each result is sunk — workers never see the
+  // store and the Appendix-A wire protocol is untouched.  The master
+  // issues only the residual schedule; workers keep the base schedule
+  // (same grid, same ik -> k mapping) and stay oblivious.
   {
     mp::PassContext ctx = mp::initpass(world, 0);
-    out.master = run_master(ctx, schedule, setup,
-                            [&out](std::size_t ik, const ModeResult& r) {
-                              out.total_worker_cpu_seconds += r.cpu_seconds;
-                              out.total_flops += r.flops;
-                              out.results.emplace(ik, r);
-                            },
-                            /*max_retries=*/2, recorder.get());
+    StopPredicate stop_early;
+    if (store.store) {
+      stop_early = [&store] { return store.store->stop_requested(); };
+    }
+    out.master = run_master(
+        ctx, store.effective(schedule), setup,
+        [&out, &store](std::size_t ik, const ModeResult& r) {
+          if (store.store) store.store->append(ik, r);
+          ++out.n_modes_computed;
+          out.total_worker_cpu_seconds += r.cpu_seconds;
+          out.total_flops += r.flops;
+          out.results.emplace(ik, r);
+        },
+        /*max_retries=*/2, recorder.get(), stop_early);
     mp::endpass(ctx);
   }
   threads.clear();  // join

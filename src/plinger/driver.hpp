@@ -35,17 +35,27 @@ struct RunOutput {
   mp::TransportStats transport;  ///< zeros for the serial driver
   MasterStats master;            ///< fault-handling accounting
   int n_workers = 0;
+  /// Checkpoint/resume accounting: modes recovered from the store vs
+  /// integrated this run (loaded + computed == results.size() unless
+  /// some modes failed).  Both zero when RunSetup::store is off.
+  std::size_t n_modes_loaded = 0;
+  std::size_t n_modes_computed = 0;
   /// Per-mode/per-worker event trace; null unless RunSetup::trace
   /// enabled it.  Feed to make_run_report() / write_chrome_trace().
   std::shared_ptr<const Trace> trace;
 
   /// Paper §5.2: (total CPU time) / (wallclock x number of workers).
+  /// 0 for degenerate runs (no workers, or a fully resumed / trivial
+  /// run whose wallclock or CPU total is zero).
   double parallel_efficiency() const {
+    if (n_workers <= 0 || wallclock_seconds <= 0.0) return 0.0;
     return total_worker_cpu_seconds /
            (wallclock_seconds * static_cast<double>(n_workers));
   }
-  /// Aggregate sustained flop rate (paper §5.1 analogue).
+  /// Aggregate sustained flop rate (paper §5.1 analogue); 0 when no
+  /// wallclock elapsed (e.g. every mode came from the store).
   double flops_per_second() const {
+    if (wallclock_seconds <= 0.0) return 0.0;
     return static_cast<double>(total_flops) / wallclock_seconds;
   }
 };

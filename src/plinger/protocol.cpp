@@ -27,7 +27,8 @@ RunSetup RunSetup::from_buffer(std::span<const double> b) {
 
 MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
                        const RunSetup& setup, const ResultSink& sink,
-                       int max_retries, TraceRecorder* trace) {
+                       int max_retries, TraceRecorder* trace,
+                       const StopPredicate& stop_early) {
   PLINGER_REQUIRE(ctx.is_master(), "run_master called on a worker rank");
   const int n_workers = ctx.world->size() - 1;
   PLINGER_REQUIRE(n_workers >= 1, "run_master: no workers");
@@ -40,12 +41,25 @@ MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
   std::size_t ik = schedule.ik_first();  // next fresh wavenumber (0: none)
   std::deque<std::size_t> retry_queue;
   std::map<std::size_t, int> attempts;
-  std::size_t ik_settled = 0;  // completed or permanently failed
+  std::size_t outstanding = 0;  // assigned, no tag-4/7 reply yet
+  bool stopping = false;        // stop predicate fired: no new work
   int stops_sent = 0;
   std::vector<double> header(kHeaderLength, 0.0);
 
-  // Serve until every wavenumber is settled AND every worker stopped.
-  while (ik_settled < schedule.size() || stops_sent < n_workers) {
+  // Wavenumbers that would still have been issued, for the early-stop
+  // accounting (the fresh chain plus any queued retries).
+  const auto count_unissued = [&] {
+    std::size_t n = retry_queue.size();
+    for (std::size_t i = ik; i != 0; i = schedule.ik_next(i)) ++n;
+    return n;
+  };
+
+  // Serve until nothing more is issuable, every assignment has reported
+  // back, and every worker has been stopped.  (A residual schedule from
+  // a resumed run may issue fewer wavenumbers than the grid has — or
+  // none at all, in which case this only stops the workers.)
+  while ((!stopping && (ik != 0 || !retry_queue.empty())) ||
+         outstanding > 0 || stops_sent < n_workers) {
     int msgtype = 0, itid = 0;
     mp::mycheckany(ctx, msgtype, itid);
 
@@ -73,7 +87,14 @@ MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
       PLINGER_REQUIRE(result.lmax == lmax,
                       "master: header/payload lmax mismatch");
       sink(ik_done_now, result);
-      ++ik_settled;
+      --outstanding;
+      // The sink may have checkpointed this result; ask whether to wind
+      // down (the store's flush-then-stop hook, or an external budget).
+      if (!stopping && stop_early && stop_early()) {
+        stopping = true;
+        mstats.stopped_early = true;
+        mstats.n_unissued = count_unissued();
+      }
       want_reply = true;
     } else if (msgtype == kTagError) {
       // A worker failed on this wavenumber; requeue or give up.
@@ -81,12 +102,14 @@ MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
       mp::myrecvreal(ctx, std::span<double>(&failed, 1), kTagError, itid);
       const auto ik_failed =
           static_cast<std::size_t>(std::llround(failed));
-      if (++attempts[ik_failed] <= max_retries) {
+      --outstanding;
+      if (stopping) {
+        ++mstats.n_unissued;  // winding down: no further retries
+      } else if (++attempts[ik_failed] <= max_retries) {
         retry_queue.push_back(ik_failed);
         ++mstats.n_requeued;
       } else {
         mstats.failed_ik.push_back(ik_failed);
-        ++ik_settled;
       }
       want_reply = true;
     } else {
@@ -96,17 +119,20 @@ MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
 
     if (want_reply) {
       std::size_t next = 0;
-      if (!retry_queue.empty()) {
-        next = retry_queue.front();
-        retry_queue.pop_front();
-      } else if (ik != 0) {
-        next = ik;
-        ik = schedule.ik_next(ik);
+      if (!stopping) {
+        if (!retry_queue.empty()) {
+          next = retry_queue.front();
+          retry_queue.pop_front();
+        } else if (ik != 0) {
+          next = ik;
+          ik = schedule.ik_next(ik);
+        }
       }
       if (next != 0) {
         // Reply with the next wavenumber (tag 3).
         if (trace) trace->record_assign(next, itid);
         const double y = static_cast<double>(next);
+        ++outstanding;
         mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagAssign,
                        itid);
       } else {

@@ -26,6 +26,7 @@
 #include "mp/wrappers.hpp"
 #include "plinger/schedule.hpp"
 #include "plinger/trace.hpp"
+#include "store/options.hpp"
 
 namespace plinger::parallel {
 
@@ -55,6 +56,10 @@ struct RunSetup {
   /// to_buffer()/from_buffer() carry only the 5 paper doubles above.
   TraceConfig trace;
 
+  /// Host-side checkpoint/restart (store/mode_result_store.hpp); also
+  /// never broadcast — the master checkpoints, workers are oblivious.
+  store::StoreOptions store;
+
   std::array<double, 5> to_buffer() const;
   static RunSetup from_buffer(std::span<const double> b);
 };
@@ -67,16 +72,27 @@ using ResultSink =
 struct MasterStats {
   std::size_t n_requeued = 0;  ///< tag-7 reports that were retried
   std::vector<std::size_t> failed_ik;  ///< exhausted their retries
+  std::size_t n_unissued = 0;  ///< abandoned by an early stop
+  bool stopped_early = false;  ///< the stop predicate fired
 };
+
+/// Asked after every settled result; returning true makes the master
+/// stop issuing fresh wavenumbers and wind the run down cleanly
+/// (outstanding assignments still complete and are sunk).  The
+/// checkpoint store's flush-then-stop hook drives this.
+using StopPredicate = std::function<bool()>;
 
 /// The master loop ("parentsub"): broadcast setup, serve wavenumbers,
 /// collect results, stop every worker.  Returns when all of both has
 /// happened.  A wavenumber reported failed (tag 7) is requeued up to
 /// max_retries times, then recorded in MasterStats::failed_ik.
 /// `trace` (optional) records tag-3 assignment events; null disables.
+/// `stop_early` (optional) ends the run before the schedule is
+/// exhausted; unissued wavenumbers are counted in MasterStats.
 MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
                        const RunSetup& setup, const ResultSink& sink,
-                       int max_retries = 2, TraceRecorder* trace = nullptr);
+                       int max_retries = 2, TraceRecorder* trace = nullptr,
+                       const StopPredicate& stop_early = {});
 
 /// What a worker does for one wavenumber; lets tests and alternative
 /// backends substitute the integration.

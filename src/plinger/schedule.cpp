@@ -1,12 +1,18 @@
 #include "plinger/schedule.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/error.hpp"
 #include "math/rng.hpp"
 
 namespace plinger::parallel {
+
+namespace {
+/// pos_of_ik_ sentinel for work indices a residual schedule never issues.
+constexpr std::size_t kNotIssued = std::numeric_limits<std::size_t>::max();
+}  // namespace
 
 KSchedule::KSchedule(std::vector<double> k_ascending, IssueOrder order,
                      unsigned shuffle_seed)
@@ -48,8 +54,33 @@ KSchedule::KSchedule(std::vector<double> k_ascending, IssueOrder order,
       break;
     }
   }
-  pos_of_ik_.assign(n + 1, 0);
+  pos_of_ik_.assign(n + 1, kNotIssued);
   for (std::size_t p = 0; p < n; ++p) pos_of_ik_[issue_[p]] = p;
+}
+
+KSchedule KSchedule::residual(
+    const std::vector<std::size_t>& remaining) const {
+  std::vector<bool> keep(k_.size() + 1, false);
+  for (const std::size_t ik : remaining) {
+    PLINGER_REQUIRE(ik >= 1 && ik <= k_.size(),
+                    "residual: ik out of range");
+    PLINGER_REQUIRE(!keep[ik], "residual: duplicate ik");
+    keep[ik] = true;
+  }
+  KSchedule r;
+  r.k_ = k_;
+  r.weight_ = weight_;
+  r.order_ = order_;
+  r.issue_.reserve(remaining.size());
+  // Filter the base issue order, preserving its relative sequence.
+  for (const std::size_t ik : issue_) {
+    if (keep[ik]) r.issue_.push_back(ik);
+  }
+  r.pos_of_ik_.assign(k_.size() + 1, kNotIssued);
+  for (std::size_t p = 0; p < r.issue_.size(); ++p) {
+    r.pos_of_ik_[r.issue_[p]] = p;
+  }
+  return r;
 }
 
 double KSchedule::k_of_ik(std::size_t ik) const {
@@ -63,11 +94,14 @@ double KSchedule::weight_of_ik(std::size_t ik) const {
   return weight_[ik - 1];
 }
 
-std::size_t KSchedule::ik_first() const { return issue_.front(); }
+std::size_t KSchedule::ik_first() const {
+  return issue_.empty() ? 0 : issue_.front();
+}
 
 std::size_t KSchedule::ik_next(std::size_t ik) const {
   PLINGER_REQUIRE(ik >= 1 && ik <= k_.size(), "ik_next: ik out of range");
   const std::size_t pos = pos_of_ik_[ik];
+  PLINGER_REQUIRE(pos != kNotIssued, "ik_next: ik is not issued");
   if (pos + 1 >= issue_.size()) return 0;
   return issue_[pos + 1];
 }

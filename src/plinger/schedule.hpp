@@ -23,7 +23,19 @@ class KSchedule {
   KSchedule(std::vector<double> k_ascending, IssueOrder order,
             unsigned shuffle_seed = 12345);
 
+  /// Residual schedule for a resumed run: the same grid, ik numbering,
+  /// k/weight mapping, and issue policy, but only the work indices in
+  /// `remaining` are issued, in their original relative order (so
+  /// largest-k-first stays largest-k-first over the residual set).
+  /// `remaining` may be in any order and may be empty (a fully resumed
+  /// run issues nothing).
+  KSchedule residual(const std::vector<std::size_t>& remaining) const;
+
   std::size_t size() const { return k_.size(); }
+
+  /// Number of work indices the issue order visits; equal to size()
+  /// except for residual schedules.
+  std::size_t n_issued() const { return issue_.size(); }
 
   /// Wavenumber of 1-based work index ik (the protocol transmits ik as a
   /// double, following Appendix A).
@@ -33,7 +45,8 @@ class KSchedule {
   /// grid.
   double weight_of_ik(std::size_t ik) const;
 
-  /// First work index to issue (1-based).
+  /// First work index to issue (1-based); 0 when nothing is issued
+  /// (empty residual).
   std::size_t ik_first() const;
 
   /// Advance ik to the next work index; returns 0 when exhausted
@@ -46,11 +59,14 @@ class KSchedule {
   IssueOrder order() const { return order_; }
 
  private:
+  KSchedule() = default;  ///< used by residual()
+
   std::vector<double> k_;        ///< ascending
   std::vector<double> weight_;   ///< trapezoid dk per ascending index
   std::vector<std::size_t> issue_;  ///< issue order as 1-based ik values
   std::vector<std::size_t> pos_of_ik_;  ///< position of ik in issue_
-  IssueOrder order_;
+                                        ///< (kNotIssued when excluded)
+  IssueOrder order_ = IssueOrder::largest_first;
 };
 
 }  // namespace plinger::parallel

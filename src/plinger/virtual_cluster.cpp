@@ -123,7 +123,7 @@ VirtualRunResult simulate_virtual_cluster(
     }
   }
 
-  PLINGER_REQUIRE(ikdone == schedule.size(),
+  PLINGER_REQUIRE(ikdone == schedule.n_issued(),
                   "virtual cluster: lost work items");
   out.wallclock_seconds = last_result_time;
   return out;

@@ -1,0 +1,42 @@
+#include "store/crc32.hpp"
+
+#include <array>
+
+namespace plinger::store {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const unsigned char> data,
+                    std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const unsigned char byte : data) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_doubles(std::span<const double> values,
+                            std::uint32_t seed) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(values.data());
+  return crc32({bytes, values.size_bytes()}, seed);
+}
+
+}  // namespace plinger::store

@@ -1,0 +1,24 @@
+#pragma once
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320), used to checksum
+/// every mode record in the checkpoint journal.  The Fortran length
+/// framing detects a torn tail; the CRC additionally catches bit rot and
+/// partially overwritten records whose framing happens to look intact.
+
+#include <cstdint>
+#include <span>
+
+namespace plinger::store {
+
+/// CRC of `data`, continuing from `seed` (pass the previous return value
+/// to checksum a message in pieces; start from the default).
+std::uint32_t crc32(std::span<const unsigned char> data,
+                    std::uint32_t seed = 0);
+
+/// Convenience: CRC over the in-memory bytes of a double array.  The
+/// journal is a single-host format (like the unit_2 stream it extends),
+/// so native byte order is part of the format.
+std::uint32_t crc32_doubles(std::span<const double> values,
+                            std::uint32_t seed = 0);
+
+}  // namespace plinger::store

@@ -1,0 +1,41 @@
+#pragma once
+
+/// Run identity: a 64-bit hash over everything that determines the
+/// numerical content of a mode's result — the cosmological model, the
+/// perturbation configuration, the k-grid, and the physics fields of the
+/// tag-1 run setup (tau_end, lmax_cap).  A checkpoint journal stamped
+/// with one identity may only be resumed by a run with the same
+/// identity: same physics, bitwise the same results.
+///
+/// The issue order is deliberately NOT hashed — scheduling policy
+/// changes which mode is computed when, never what a mode's result is
+/// (the driver-equivalence sweep holds this bitwise), so a store written
+/// largest-first may be resumed natural-order and vice versa.
+
+#include <cstdint>
+#include <span>
+
+namespace plinger::cosmo {
+struct CosmoParams;
+}
+namespace plinger::boltzmann {
+struct PerturbationConfig;
+}
+
+namespace plinger::store {
+
+struct RunIdentity {
+  std::uint64_t value = 0;
+
+  friend bool operator==(const RunIdentity&, const RunIdentity&) = default;
+};
+
+/// Hash the physics inputs of a run.  k_grid is the ascending
+/// integration grid (KSchedule::k_grid()); tau_end and lmax_cap are the
+/// RunSetup fields that reach the integrator.
+RunIdentity run_identity(const cosmo::CosmoParams& params,
+                         const boltzmann::PerturbationConfig& cfg,
+                         std::span<const double> k_grid, double tau_end,
+                         double lmax_cap);
+
+}  // namespace plinger::store

@@ -1,0 +1,131 @@
+#pragma once
+
+/// Crash-safe checkpoint/restart store for completed mode results.
+///
+/// The COSMICS descendant of LINGER shipped restart files because losing
+/// a half-finished production run on a shared SP2 queue was
+/// unacceptable; this is the same primitive for plinger++.  A store is
+/// one append-only binary journal:
+///
+///   record 0   file header — magic, format version, the 64-bit run
+///              identity (store/identity.hpp) and the grid size
+///   record i   one completed mode — the Appendix-A tag-4 21-double
+///              header, the tag-5 payload (8 + moments doubles), and a
+///              trailing CRC-32 of the record body
+///
+/// Every record uses the io/fortran_binary length framing, i.e. the
+/// journal is a valid unit_2-style stream with one extra leading record
+/// and one trailing checksum double per mode — era tools that skip
+/// unknown records can still walk it.
+///
+/// Crash safety is the append-only contract: a record is either wholly
+/// present (framing intact, CRC matches) or it is the torn tail left by
+/// a crash mid-write.  open() truncates a torn tail instead of failing
+/// the run; everything before it is intact because nothing is ever
+/// rewritten.  A journal whose identity differs from the opening run is
+/// rejected with StoreIdentityMismatch — a store is only ever resumed
+/// against the exact same physics.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "boltzmann/mode_evolution.hpp"
+#include "common/error.hpp"
+#include "store/identity.hpp"
+#include "store/options.hpp"
+
+namespace plinger::store {
+
+/// The journal belongs to a different run (wrong identity hash or grid
+/// size).  Resuming it would mix results from different physics.
+class StoreIdentityMismatch : public Error {
+ public:
+  explicit StoreIdentityMismatch(const std::string& what) : Error(what) {}
+};
+
+/// The journal is damaged beyond torn-tail recovery (unreadable or
+/// corrupt file header record).
+class StoreCorrupt : public Error {
+ public:
+  explicit StoreCorrupt(const std::string& what) : Error(what) {}
+};
+
+/// Raw inspection of a journal file, shared by the loader, the tests,
+/// and tooling.  Never throws on mode-record damage: scanning stops at
+/// the first bad record and reports how far the good prefix reaches.
+struct JournalScan {
+  RunIdentity identity;
+  std::size_t n_k = 0;               ///< grid size stamped in the header
+  std::vector<std::size_t> iks;      ///< journal order, duplicates kept
+  std::uint64_t good_bytes = 0;      ///< prefix ending at the last good record
+  bool torn_tail = false;            ///< trailing bytes past good_bytes
+};
+
+class ModeResultStore {
+ public:
+  /// Open (creating if absent) the journal at opts.path for the run
+  /// identified by `id` over an n_k-point grid.  An existing journal is
+  /// identity-checked, scanned, torn-tail-truncated, and — when
+  /// opts.resume is set — its records are loaded into loaded().
+  ModeResultStore(const StoreOptions& opts, RunIdentity id,
+                  std::size_t n_k);
+  ~ModeResultStore();  ///< flushes; never throws
+
+  ModeResultStore(const ModeResultStore&) = delete;
+  ModeResultStore& operator=(const ModeResultStore&) = delete;
+
+  /// Results recovered from the journal at open (empty when resume was
+  /// off or the journal was fresh).  First record wins for duplicate ik.
+  const std::map<std::size_t, boltzmann::ModeResult>& loaded() const {
+    return loaded_;
+  }
+  bool contains(std::size_t ik) const { return loaded_.count(ik) != 0; }
+
+  std::size_t n_loaded() const { return loaded_.size(); }
+  bool torn_tail_recovered() const { return torn_tail_recovered_; }
+  std::size_t n_duplicates_dropped() const { return n_duplicates_; }
+
+  /// Append one completed mode.  Thread-safe; flushes per
+  /// StoreOptions::flush_interval.  Appending an ik that is already in
+  /// the journal is a caller bug (the drivers only schedule the
+  /// residual) and throws InvalidArgument.
+  void append(std::size_t ik, const boltzmann::ModeResult& result);
+
+  std::size_t n_appended() const;
+
+  /// Push buffered records to the OS now (a checkpoint barrier).
+  void flush();
+
+  /// True once stop_after appends have happened (and been flushed):
+  /// the drivers stop issuing fresh modes and wind down.
+  bool stop_requested() const;
+
+  /// Scan a journal without opening it for writing.  Throws StoreCorrupt
+  /// when the file header itself is unreadable.
+  static JournalScan scan(const std::string& path);
+
+ private:
+  void write_file_header();
+
+  StoreOptions opts_;
+  RunIdentity id_;
+  std::size_t n_k_ = 0;
+
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::size_t n_appended_ = 0;
+  std::size_t n_unflushed_ = 0;
+  bool stop_requested_ = false;
+
+  std::map<std::size_t, boltzmann::ModeResult> loaded_;
+  std::set<std::size_t> in_journal_;  ///< every ik ever written
+  std::size_t n_duplicates_ = 0;
+  bool torn_tail_recovered_ = false;
+};
+
+}  // namespace plinger::store

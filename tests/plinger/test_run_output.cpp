@@ -1,0 +1,40 @@
+// RunOutput accounting guards: the derived ratios must stay finite for
+// degenerate runs — zero workers (default-constructed), or a fully
+// resumed run whose wallclock rounds to zero.
+
+#include <gtest/gtest.h>
+
+#include "plinger/driver.hpp"
+
+namespace pp = plinger::parallel;
+
+TEST(RunOutput, EfficiencyGuardsDegenerateRuns) {
+  pp::RunOutput out;  // n_workers == 0, wallclock == 0
+  EXPECT_EQ(out.parallel_efficiency(), 0.0);
+  EXPECT_EQ(out.flops_per_second(), 0.0);
+
+  out.n_workers = 4;
+  out.total_worker_cpu_seconds = 10.0;
+  out.total_flops = 1000;
+  EXPECT_EQ(out.parallel_efficiency(), 0.0);  // still no wallclock
+  EXPECT_EQ(out.flops_per_second(), 0.0);
+
+  out.wallclock_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(out.parallel_efficiency(), 0.5);
+  EXPECT_DOUBLE_EQ(out.flops_per_second(), 200.0);
+
+  out.n_workers = 0;  // workers unknown: efficiency undefined, not inf
+  EXPECT_EQ(out.parallel_efficiency(), 0.0);
+  EXPECT_DOUBLE_EQ(out.flops_per_second(), 200.0);
+}
+
+TEST(RunOutput, NegativeWallclockTreatedAsDegenerate) {
+  // A clock step backwards must not produce negative "efficiency".
+  pp::RunOutput out;
+  out.n_workers = 2;
+  out.wallclock_seconds = -1e-9;
+  out.total_worker_cpu_seconds = 1.0;
+  out.total_flops = 100;
+  EXPECT_EQ(out.parallel_efficiency(), 0.0);
+  EXPECT_EQ(out.flops_per_second(), 0.0);
+}

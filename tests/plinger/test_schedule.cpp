@@ -81,3 +81,50 @@ TEST(KSchedule, SingleModeGrid) {
   EXPECT_EQ(s.ik_first(), 1u);
   EXPECT_EQ(s.ik_next(1), 0u);
 }
+
+TEST(KSchedule, ResidualPreservesLargestFirstOrder) {
+  pp::KSchedule s(grid(10), pp::IssueOrder::largest_first);
+  const auto r = s.residual({2, 7, 5, 9});
+  EXPECT_EQ(r.size(), 10u);       // full grid, same ik numbering...
+  EXPECT_EQ(r.n_issued(), 4u);    // ...but only the remainder issued
+  const auto order = walk(r);
+  ASSERT_EQ(order.size(), 4u);
+  double prev = 1e9;
+  for (std::size_t ik : order) {
+    EXPECT_LT(r.k_of_ik(ik), prev);  // still descending in k
+    prev = r.k_of_ik(ik);
+    EXPECT_EQ(r.k_of_ik(ik), s.k_of_ik(ik));  // mapping unchanged
+    EXPECT_EQ(r.weight_of_ik(ik), s.weight_of_ik(ik));
+  }
+  EXPECT_EQ(order.front(), 9u);  // largest remaining k first
+}
+
+TEST(KSchedule, ResidualAcceptsAnyInputOrder) {
+  pp::KSchedule s(grid(8), pp::IssueOrder::natural);
+  const auto a = walk(s.residual({1, 4, 6}));
+  const auto b = walk(s.residual({6, 1, 4}));
+  EXPECT_EQ(a, b);  // original relative order, not input order
+  EXPECT_EQ(a, (std::vector<std::size_t>{1, 4, 6}));
+}
+
+TEST(KSchedule, EmptyResidualIssuesNothing) {
+  pp::KSchedule s(grid(5), pp::IssueOrder::largest_first);
+  const auto r = s.residual({});
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.n_issued(), 0u);
+  EXPECT_EQ(r.ik_first(), 0u);  // the master loop terminates immediately
+  EXPECT_EQ(r.k_of_ik(3), s.k_of_ik(3));  // lookups still work
+}
+
+TEST(KSchedule, ResidualOfResidual) {
+  pp::KSchedule s(grid(10), pp::IssueOrder::largest_first);
+  const auto r = s.residual({2, 5, 7, 9}).residual({5, 9});
+  EXPECT_EQ(walk(r), (std::vector<std::size_t>{9, 5}));
+}
+
+TEST(KSchedule, ResidualRejectsBadInput) {
+  pp::KSchedule s(grid(5), pp::IssueOrder::natural);
+  EXPECT_THROW(s.residual({0}), plinger::InvalidArgument);
+  EXPECT_THROW(s.residual({6}), plinger::InvalidArgument);
+  EXPECT_THROW(s.residual({2, 2}), plinger::InvalidArgument);
+}

@@ -1,0 +1,356 @@
+// ModeResultStore unit tests: CRC vectors, run-identity sensitivity,
+// journal round-trip, torn-tail recovery, and the rejection paths
+// (foreign files, wrong identity, duplicate appends).
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boltzmann/config.hpp"
+#include "common/error.hpp"
+#include "cosmo/params.hpp"
+#include "io/fortran_binary.hpp"
+#include "plinger/records.hpp"
+#include "store/crc32.hpp"
+#include "store/identity.hpp"
+#include "store/mode_result_store.hpp"
+
+namespace ps = plinger::store;
+namespace pp = plinger::parallel;
+namespace pb = plinger::boltzmann;
+namespace pc = plinger::cosmo;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string p = ::testing::TempDir() + "plinger_" + name + ".bin";
+  std::error_code ec;
+  fs::remove(p, ec);
+  return p;
+}
+
+/// A deterministic fake result, same shape as test_faults.cpp uses:
+/// small lmax so records stay tiny.
+pb::ModeResult fake_result(double k) {
+  pb::ModeResult r;
+  r.k = k;
+  r.lmax = 8;
+  r.f_gamma.assign(9, k);
+  r.g_gamma.assign(5, 0.5 * k);
+  r.final_state.delta_c = -k;
+  return r;
+}
+
+ps::RunIdentity test_identity() {
+  const pc::CosmoParams params = pc::CosmoParams::standard_cdm();
+  const pb::PerturbationConfig cfg;
+  const std::vector<double> grid = {0.01, 0.02, 0.05, 0.1};
+  return ps::run_identity(params, cfg, grid, 600.0, 24.0);
+}
+
+ps::StoreOptions opts_for(const std::string& path) {
+  ps::StoreOptions o;
+  o.path = path;
+  return o;
+}
+
+}  // namespace
+
+TEST(Crc32, KnownVector) {
+  // The classic IEEE check value: CRC32("123456789") = 0xCBF43926.
+  const unsigned char digits[] = {'1', '2', '3', '4', '5',
+                                  '6', '7', '8', '9'};
+  EXPECT_EQ(ps::crc32(digits), 0xCBF43926u);
+  EXPECT_EQ(ps::crc32(std::span<const unsigned char>{}), 0u);
+}
+
+TEST(Crc32, SeedContinuationMatchesOneShot) {
+  const unsigned char data[] = {'p', 'l', 'i', 'n', 'g', 'e', 'r'};
+  const std::span<const unsigned char> all(data);
+  const auto whole = ps::crc32(all);
+  const auto piecewise = ps::crc32(all.subspan(3), ps::crc32(all.first(3)));
+  EXPECT_EQ(piecewise, whole);
+}
+
+TEST(Crc32, DoublesMatchesRawBytes) {
+  const std::vector<double> values = {0.0, 1.5, -3.25, 1e300};
+  const auto* bytes =
+      reinterpret_cast<const unsigned char*>(values.data());
+  const std::span<const unsigned char> raw(
+      bytes, values.size() * sizeof(double));
+  EXPECT_EQ(ps::crc32_doubles(values), ps::crc32(raw));
+}
+
+TEST(RunIdentity, DeterministicAndSensitive) {
+  const pc::CosmoParams params = pc::CosmoParams::standard_cdm();
+  const pb::PerturbationConfig cfg;
+  const std::vector<double> grid = {0.01, 0.02, 0.05};
+  const auto base = ps::run_identity(params, cfg, grid, 600.0, 24.0);
+
+  // Same inputs, same hash.
+  EXPECT_EQ(ps::run_identity(params, cfg, grid, 600.0, 24.0), base);
+
+  // Every input class moves the hash.
+  pc::CosmoParams p2 = params;
+  p2.h += 1e-10;
+  EXPECT_NE(ps::run_identity(p2, cfg, grid, 600.0, 24.0), base);
+
+  pb::PerturbationConfig c2 = cfg;
+  c2.rtol *= 0.5;
+  EXPECT_NE(ps::run_identity(params, c2, grid, 600.0, 24.0), base);
+
+  pb::PerturbationConfig c3 = cfg;
+  c3.ic_type = pb::InitialConditionType::cdm_isocurvature;
+  EXPECT_NE(ps::run_identity(params, c3, grid, 600.0, 24.0), base);
+
+  std::vector<double> g2 = grid;
+  g2.back() += 1e-12;
+  EXPECT_NE(ps::run_identity(params, cfg, g2, 600.0, 24.0), base);
+
+  std::vector<double> g3 = grid;
+  g3.push_back(0.1);
+  EXPECT_NE(ps::run_identity(params, cfg, g3, 600.0, 24.0), base);
+
+  EXPECT_NE(ps::run_identity(params, cfg, grid, 700.0, 24.0), base);
+  EXPECT_NE(ps::run_identity(params, cfg, grid, 600.0, 32.0), base);
+}
+
+TEST(ModeResultStore, FreshJournalRoundTrip) {
+  const auto path = temp_path("roundtrip");
+  const auto id = test_identity();
+  {
+    ps::ModeResultStore st(opts_for(path), id, 4);
+    EXPECT_EQ(st.n_loaded(), 0u);
+    EXPECT_FALSE(st.torn_tail_recovered());
+    for (std::size_t ik = 1; ik <= 4; ++ik) {
+      st.append(ik, fake_result(0.01 * static_cast<double>(ik)));
+    }
+    EXPECT_EQ(st.n_appended(), 4u);
+  }
+
+  // Reopen: every record comes back, wire fields intact.
+  ps::ModeResultStore st(opts_for(path), id, 4);
+  EXPECT_EQ(st.n_loaded(), 4u);
+  EXPECT_FALSE(st.torn_tail_recovered());
+  EXPECT_EQ(st.n_duplicates_dropped(), 0u);
+  for (std::size_t ik = 1; ik <= 4; ++ik) {
+    ASSERT_TRUE(st.contains(ik));
+    const auto& r = st.loaded().at(ik);
+    const double k = 0.01 * static_cast<double>(ik);
+    EXPECT_EQ(r.k, k);
+    EXPECT_EQ(r.lmax, 8u);
+    ASSERT_EQ(r.f_gamma.size(), 9u);
+    EXPECT_EQ(r.f_gamma[3], k);
+    ASSERT_EQ(r.g_gamma.size(), 5u);
+    EXPECT_EQ(r.g_gamma[0], 0.5 * k);
+    EXPECT_EQ(r.final_state.delta_c, -k);
+  }
+
+  const auto scan = ps::ModeResultStore::scan(path);
+  EXPECT_EQ(scan.identity, id);
+  EXPECT_EQ(scan.n_k, 4u);
+  EXPECT_EQ(scan.iks, (std::vector<std::size_t>{1, 2, 3, 4}));
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.good_bytes, fs::file_size(path));
+}
+
+TEST(ModeResultStore, TornTailIsTruncatedOnOpen) {
+  const auto path = temp_path("torn");
+  const auto id = test_identity();
+  {
+    ps::ModeResultStore st(opts_for(path), id, 4);
+    for (std::size_t ik = 1; ik <= 3; ++ik) {
+      st.append(ik, fake_result(0.01 * static_cast<double>(ik)));
+    }
+  }
+  const auto good_size = fs::file_size(path);
+
+  // Simulate a crash mid-write: a valid length marker followed by only
+  // part of the promised body.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    const std::uint32_t head = 44 * sizeof(double);
+    f.write(reinterpret_cast<const char*>(&head), sizeof(head));
+    const double partial[3] = {1.0, 2.0, 3.0};
+    f.write(reinterpret_cast<const char*>(partial), sizeof(partial));
+  }
+  ASSERT_GT(fs::file_size(path), good_size);
+  EXPECT_TRUE(ps::ModeResultStore::scan(path).torn_tail);
+
+  {
+    ps::ModeResultStore st(opts_for(path), id, 4);
+    EXPECT_TRUE(st.torn_tail_recovered());
+    EXPECT_EQ(st.n_loaded(), 3u);
+    EXPECT_EQ(fs::file_size(path), good_size);
+    st.append(4, fake_result(0.04));  // journal keeps working after repair
+  }
+  ps::ModeResultStore st(opts_for(path), id, 4);
+  EXPECT_FALSE(st.torn_tail_recovered());
+  EXPECT_EQ(st.n_loaded(), 4u);
+}
+
+TEST(ModeResultStore, CorruptRecordBodyDropsTheTail) {
+  const auto path = temp_path("bitrot");
+  const auto id = test_identity();
+  {
+    ps::ModeResultStore st(opts_for(path), id, 4);
+    for (std::size_t ik = 1; ik <= 3; ++ik) {
+      st.append(ik, fake_result(0.01 * static_cast<double>(ik)));
+    }
+  }
+  // Flip a byte inside the LAST record's body: framing stays intact but
+  // the CRC no longer matches, so the record (and everything after it)
+  // is the torn tail.
+  const auto size = fs::file_size(path);
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(size) - 100);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(static_cast<std::streamoff>(size) - 100);
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  const auto scan = ps::ModeResultStore::scan(path);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.iks.size(), 2u);
+
+  ps::ModeResultStore st(opts_for(path), id, 4);
+  EXPECT_TRUE(st.torn_tail_recovered());
+  EXPECT_EQ(st.n_loaded(), 2u);
+  EXPECT_LT(fs::file_size(path), size);
+}
+
+TEST(ModeResultStore, TornFileHeaderRecoversAsFresh) {
+  const auto path = temp_path("tornheader");
+  {
+    // Crash before even the header record was fully flushed.
+    std::ofstream f(path, std::ios::binary);
+    const std::uint32_t head = 6 * sizeof(double);
+    f.write(reinterpret_cast<const char*>(&head), sizeof(head));
+    const double partial = 1347440199.0;
+    f.write(reinterpret_cast<const char*>(&partial), sizeof(partial));
+  }
+  ps::ModeResultStore st(opts_for(path), test_identity(), 4);
+  EXPECT_TRUE(st.torn_tail_recovered());
+  EXPECT_EQ(st.n_loaded(), 0u);
+  st.append(1, fake_result(0.01));
+}
+
+TEST(ModeResultStore, WrongIdentityOrGridIsRejected) {
+  const auto path = temp_path("mismatch");
+  const auto id = test_identity();
+  {
+    ps::ModeResultStore st(opts_for(path), id, 4);
+    st.append(1, fake_result(0.01));
+  }
+  ps::RunIdentity other = id;
+  other.value ^= 1;
+  EXPECT_THROW(ps::ModeResultStore(opts_for(path), other, 4),
+               ps::StoreIdentityMismatch);
+  EXPECT_THROW(ps::ModeResultStore(opts_for(path), id, 5),
+               ps::StoreIdentityMismatch);
+  // The original opener still works (the rejection must not clobber).
+  ps::ModeResultStore st(opts_for(path), id, 4);
+  EXPECT_EQ(st.n_loaded(), 1u);
+}
+
+TEST(ModeResultStore, ForeignFileIsNotClobbered) {
+  const auto path = temp_path("foreign");
+  {
+    // A valid Fortran-framed file that is not a checkpoint journal
+    // (e.g. a unit_2 stream): refuse rather than truncate it.
+    std::ofstream f(path, std::ios::binary);
+    plinger::io::FortranRecordWriter w(f);
+    const std::vector<double> rec = {1.0, 2.0, 3.0};
+    w.record(rec);
+  }
+  const auto before = fs::file_size(path);
+  EXPECT_THROW(ps::ModeResultStore(opts_for(path), test_identity(), 4),
+               ps::StoreCorrupt);
+  EXPECT_THROW(ps::ModeResultStore::scan(path), ps::StoreCorrupt);
+  EXPECT_EQ(fs::file_size(path), before);
+}
+
+TEST(ModeResultStore, DuplicateRecordFirstWins) {
+  const auto path = temp_path("dup");
+  const auto id = test_identity();
+  {
+    ps::ModeResultStore st(opts_for(path), id, 4);
+    st.append(1, fake_result(0.01));
+  }
+  // Hand-craft a second, different record for the same ik (a crashed
+  // run that lost its in-memory index could produce this).
+  {
+    const auto r = fake_result(0.09);
+    auto rec = pp::pack_header(1, r);
+    const auto payload = pp::pack_payload(1, r);
+    rec.insert(rec.end(), payload.begin(), payload.end());
+    rec.push_back(static_cast<double>(ps::crc32_doubles(rec)));
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    plinger::io::FortranRecordWriter w(f);
+    w.record(rec);
+  }
+  EXPECT_EQ(ps::ModeResultStore::scan(path).iks,
+            (std::vector<std::size_t>{1, 1}));
+
+  ps::ModeResultStore st(opts_for(path), id, 4);
+  EXPECT_EQ(st.n_loaded(), 1u);
+  EXPECT_EQ(st.n_duplicates_dropped(), 1u);
+  EXPECT_EQ(st.loaded().at(1).k, 0.01);  // first record wins
+}
+
+TEST(ModeResultStore, DuplicateAppendThrows) {
+  const auto path = temp_path("dupappend");
+  ps::ModeResultStore st(opts_for(path), test_identity(), 4);
+  st.append(1, fake_result(0.01));
+  EXPECT_THROW(st.append(1, fake_result(0.01)),
+               plinger::InvalidArgument);
+  EXPECT_EQ(st.n_appended(), 1u);
+}
+
+TEST(ModeResultStore, ResumeOffStillGuardsDuplicates) {
+  const auto path = temp_path("noresume");
+  const auto id = test_identity();
+  {
+    ps::ModeResultStore st(opts_for(path), id, 4);
+    st.append(1, fake_result(0.01));
+    st.append(2, fake_result(0.02));
+  }
+  auto o = opts_for(path);
+  o.resume = false;
+  ps::ModeResultStore st(o, id, 4);
+  EXPECT_EQ(st.n_loaded(), 0u);  // nothing resumed...
+  EXPECT_THROW(st.append(1, fake_result(0.01)),  // ...but the journal
+               plinger::InvalidArgument);        // index still holds
+  st.append(3, fake_result(0.03));
+  EXPECT_EQ(ps::ModeResultStore::scan(path).iks,
+            (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(ModeResultStore, FlushThenStopHook) {
+  const auto path = temp_path("stopafter");
+  auto o = opts_for(path);
+  o.stop_after = 2;
+  ps::ModeResultStore st(o, test_identity(), 4);
+  st.append(1, fake_result(0.01));
+  EXPECT_FALSE(st.stop_requested());
+  st.append(2, fake_result(0.02));
+  EXPECT_TRUE(st.stop_requested());
+  // The "crash" left a valid journal: both records are on disk already.
+  const auto scan = ps::ModeResultStore::scan(path);
+  EXPECT_EQ(scan.iks.size(), 2u);
+  EXPECT_FALSE(scan.torn_tail);
+}
+
+TEST(ModeResultStore, ScanMissingFileThrows) {
+  EXPECT_THROW(ps::ModeResultStore::scan(temp_path("absent")),
+               ps::StoreCorrupt);
+}

@@ -21,7 +21,8 @@
 //
 // With store=path the run checkpoints every completed mode to a
 // crash-safe journal; rerunning the same parameter file resumes from it,
-// computing only the missing modes (resume=0 appends without resuming).
+// computing only the missing modes (resume=0 recomputes the full grid
+// instead, appending only modes missing from the journal).
 
 #include <cstdio>
 #include <cmath>

@@ -44,6 +44,7 @@ MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
   std::size_t outstanding = 0;  // assigned, no tag-4/7 reply yet
   bool stopping = false;        // stop predicate fired: no new work
   int stops_sent = 0;
+  std::vector<char> stopped(static_cast<std::size_t>(n_workers) + 1, 0);
   std::vector<double> header(kHeaderLength, 0.0);
 
   // Wavenumbers that would still have been issued, for the early-stop
@@ -58,90 +59,109 @@ MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
   // back, and every worker has been stopped.  (A residual schedule from
   // a resumed run may issue fewer wavenumbers than the grid has — or
   // none at all, in which case this only stops the workers.)
-  while ((!stopping && (ik != 0 || !retry_queue.empty())) ||
-         outstanding > 0 || stops_sent < n_workers) {
-    int msgtype = 0, itid = 0;
-    mp::mycheckany(ctx, msgtype, itid);
+  try {
+    while ((!stopping && (ik != 0 || !retry_queue.empty())) ||
+           outstanding > 0 || stops_sent < n_workers) {
+      int msgtype = 0, itid = 0;
+      mp::mycheckany(ctx, msgtype, itid);
 
-    bool want_reply = false;
-    if (msgtype == kTagRequest) {
-      // Worker is ready for its first ik; the message carries no data.
-      double dummy = 0.0;
-      mp::myrecvreal(ctx, std::span<double>(&dummy, 1), kTagRequest, itid);
-      want_reply = true;
-    } else if (msgtype == kTagHeader) {
-      // First part of a result; its y(21) tells us the tag-5 length.
-      mp::myrecvreal(ctx, header, kTagHeader, itid);
-      const std::size_t lmax = header_lmax(header);
-      // The payload length also needs lmax_pol; probe reports the true
-      // length, so size the buffer from the probe (MPI_Get_count idiom).
-      mp::mycheckone(ctx, kTagPayload, itid);
-      const mp::ProbeResult pr =
-          ctx.world->probe(ctx.mytid, itid, kTagPayload);
-      std::vector<double> payload(pr.length, 0.0);
-      mp::myrecvreal(ctx, payload, kTagPayload, itid);
+      bool want_reply = false;
+      if (msgtype == kTagRequest) {
+        // Worker is ready for its first ik; the message carries no data.
+        double dummy = 0.0;
+        mp::myrecvreal(ctx, std::span<double>(&dummy, 1), kTagRequest, itid);
+        want_reply = true;
+      } else if (msgtype == kTagHeader) {
+        // First part of a result; its y(21) tells us the tag-5 length.
+        mp::myrecvreal(ctx, header, kTagHeader, itid);
+        const std::size_t lmax = header_lmax(header);
+        // The payload length also needs lmax_pol; probe reports the true
+        // length, so size the buffer from the probe (MPI_Get_count idiom).
+        mp::mycheckone(ctx, kTagPayload, itid);
+        const mp::ProbeResult pr =
+            ctx.world->probe(ctx.mytid, itid, kTagPayload);
+        std::vector<double> payload(pr.length, 0.0);
+        mp::myrecvreal(ctx, payload, kTagPayload, itid);
 
-      std::size_t ik_done_now = 0;
-      const boltzmann::ModeResult result =
-          unpack_records(header, payload, ik_done_now);
-      PLINGER_REQUIRE(result.lmax == lmax,
-                      "master: header/payload lmax mismatch");
-      sink(ik_done_now, result);
-      --outstanding;
-      // The sink may have checkpointed this result; ask whether to wind
-      // down (the store's flush-then-stop hook, or an external budget).
-      if (!stopping && stop_early && stop_early()) {
-        stopping = true;
-        mstats.stopped_early = true;
-        mstats.n_unissued = count_unissued();
-      }
-      want_reply = true;
-    } else if (msgtype == kTagError) {
-      // A worker failed on this wavenumber; requeue or give up.
-      double failed = 0.0;
-      mp::myrecvreal(ctx, std::span<double>(&failed, 1), kTagError, itid);
-      const auto ik_failed =
-          static_cast<std::size_t>(std::llround(failed));
-      --outstanding;
-      if (stopping) {
-        ++mstats.n_unissued;  // winding down: no further retries
-      } else if (++attempts[ik_failed] <= max_retries) {
-        retry_queue.push_back(ik_failed);
-        ++mstats.n_requeued;
+        std::size_t ik_done_now = 0;
+        const boltzmann::ModeResult result =
+            unpack_records(header, payload, ik_done_now);
+        PLINGER_REQUIRE(result.lmax == lmax,
+                        "master: header/payload lmax mismatch");
+        sink(ik_done_now, result);
+        --outstanding;
+        // The sink may have checkpointed this result; ask whether to wind
+        // down (the store's flush-then-stop hook, or an external budget).
+        if (!stopping && stop_early && stop_early()) {
+          stopping = true;
+          mstats.stopped_early = true;
+          mstats.n_unissued = count_unissued();
+        }
+        want_reply = true;
+      } else if (msgtype == kTagError) {
+        // A worker failed on this wavenumber; requeue or give up.
+        double failed = 0.0;
+        mp::myrecvreal(ctx, std::span<double>(&failed, 1), kTagError, itid);
+        const auto ik_failed =
+            static_cast<std::size_t>(std::llround(failed));
+        --outstanding;
+        if (stopping) {
+          ++mstats.n_unissued;  // winding down: no further retries
+        } else if (++attempts[ik_failed] <= max_retries) {
+          retry_queue.push_back(ik_failed);
+          ++mstats.n_requeued;
+        } else {
+          mstats.failed_ik.push_back(ik_failed);
+        }
+        want_reply = true;
       } else {
-        mstats.failed_ik.push_back(ik_failed);
+        throw mp::ProtocolError("master received unexpected tag " +
+                                std::to_string(msgtype));
       }
-      want_reply = true;
-    } else {
-      throw mp::ProtocolError("master received unexpected tag " +
-                              std::to_string(msgtype));
-    }
 
-    if (want_reply) {
-      std::size_t next = 0;
-      if (!stopping) {
-        if (!retry_queue.empty()) {
-          next = retry_queue.front();
-          retry_queue.pop_front();
-        } else if (ik != 0) {
-          next = ik;
-          ik = schedule.ik_next(ik);
+      if (want_reply) {
+        std::size_t next = 0;
+        if (!stopping) {
+          if (!retry_queue.empty()) {
+            next = retry_queue.front();
+            retry_queue.pop_front();
+          } else if (ik != 0) {
+            next = ik;
+            ik = schedule.ik_next(ik);
+          }
+        }
+        if (next != 0) {
+          // Reply with the next wavenumber (tag 3).
+          if (trace) trace->record_assign(next, itid);
+          const double y = static_cast<double>(next);
+          ++outstanding;
+          mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagAssign,
+                         itid);
+        } else {
+          // No more wavenumbers: tell the worker to stop (tag 6).
+          const double y = 0.0;
+          mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagStop, itid);
+          stopped[static_cast<std::size_t>(itid)] = 1;
+          ++stops_sent;
         }
       }
-      if (next != 0) {
-        // Reply with the next wavenumber (tag 3).
-        if (trace) trace->record_assign(next, itid);
-        const double y = static_cast<double>(next);
-        ++outstanding;
-        mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagAssign,
-                       itid);
-      } else {
-        // No more wavenumbers: tell the worker to stop (tag 6).
+    }
+  } catch (...) {
+    // A master-side failure (a sink exception — e.g. the checkpoint
+    // store surfacing a write error — or a protocol violation) must not
+    // strand the workers: each is blocked in, or headed for, the
+    // receive of its next assignment, and the caller's joins would
+    // deadlock.  Send every still-running worker a stop before
+    // unwinding; in-flight results simply stay undelivered.
+    for (int w = 1; w <= n_workers; ++w) {
+      if (stopped[static_cast<std::size_t>(w)]) continue;
+      try {
         const double y = 0.0;
-        mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagStop, itid);
-        ++stops_sent;
+        mp::mysendreal(ctx, std::span<const double>(&y, 1), kTagStop, w);
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
       }
     }
+    throw;
   }
   return mstats;
 }

@@ -89,6 +89,10 @@ using StopPredicate = std::function<bool()>;
 /// `trace` (optional) records tag-3 assignment events; null disables.
 /// `stop_early` (optional) ends the run before the schedule is
 /// exhausted; unissued wavenumbers are counted in MasterStats.
+/// On a master-side exception (a sink failure such as a checkpoint
+/// write error, or a protocol violation) every still-running worker is
+/// sent its stop message before the exception propagates, so the
+/// caller's joins cannot deadlock.
 MasterStats run_master(mp::PassContext& ctx, const KSchedule& schedule,
                        const RunSetup& setup, const ResultSink& sink,
                        int max_retries = 2, TraceRecorder* trace = nullptr,

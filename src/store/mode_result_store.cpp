@@ -1,5 +1,6 @@
 #include "store/mode_result_store.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
@@ -74,6 +75,12 @@ class RawReader {
   std::uint64_t offset_ = 0;
 };
 
+/// True when `v` is an exact non-negative integer below `limit` — i.e.
+/// safe to cast to an unsigned integer type of that range.
+bool castable_field(double v, double limit) {
+  return std::isfinite(v) && v >= 0.0 && v < limit && v == std::floor(v);
+}
+
 /// Parse the file header record; throws StoreCorrupt when it is not one.
 void parse_file_header(const std::vector<double>& rec, std::uint64_t& id,
                        std::size_t& n_k) {
@@ -81,6 +88,16 @@ void parse_file_header(const std::vector<double>& rec, std::uint64_t& id,
       rec[1] != kVersion) {
     throw StoreCorrupt(
         "ModeResultStore: file is not a version-1 checkpoint journal");
+  }
+  // The identity halves and grid size travel as doubles; a well-framed
+  // but corrupt header (NaN, negative, out of range) must be rejected
+  // here — casting it first would be undefined behavior.
+  constexpr double kTwo32 = 4294967296.0;
+  constexpr double kTwo53 = 9007199254740992.0;
+  if (!castable_field(rec[2], kTwo32) || !castable_field(rec[3], kTwo32) ||
+      !castable_field(rec[4], kTwo53)) {
+    throw StoreCorrupt(
+        "ModeResultStore: checkpoint journal header fields are corrupt");
   }
   id = (static_cast<std::uint64_t>(rec[2]) << 32) |
        static_cast<std::uint64_t>(rec[3]);
@@ -176,6 +193,7 @@ ModeResultStore::ModeResultStore(const StoreOptions& opts, RunIdentity id,
                     "ModeResultStore: cannot create " + opts_.path);
     write_file_header();
     out_.flush();
+    require_writable("file header flush");
   } else {
     out_.open(opts_.path, std::ios::binary | std::ios::app);
     PLINGER_REQUIRE(out_.is_open(),
@@ -192,6 +210,16 @@ ModeResultStore::~ModeResultStore() {
   }
 }
 
+void ModeResultStore::require_writable(const char* when) {
+  if (!out_.good()) {
+    throw StoreWriteError(
+        std::string("ModeResultStore: ") + when + " failed on " +
+        opts_.path +
+        " (disk full or I/O error); results are no longer being "
+        "checkpointed");
+  }
+}
+
 void ModeResultStore::write_file_header() {
   const double hi = static_cast<double>(id_.value >> 32);
   const double lo = static_cast<double>(id_.value & 0xFFFFFFFFull);
@@ -199,6 +227,7 @@ void ModeResultStore::write_file_header() {
       kMagic, kVersion, hi, lo, static_cast<double>(n_k_), 0.0};
   io::FortranRecordWriter writer(out_);
   writer.record(rec);
+  require_writable("file header write");
 }
 
 void ModeResultStore::append(std::size_t ik,
@@ -212,20 +241,32 @@ void ModeResultStore::append(std::size_t ik,
   rec.push_back(static_cast<double>(crc32_doubles(rec)));
 
   const std::lock_guard<std::mutex> lock(mutex_);
-  PLINGER_REQUIRE(in_journal_.insert(ik).second,
-                  "ModeResultStore: ik " + std::to_string(ik) +
-                      " already checkpointed");
+  if (!in_journal_.insert(ik).second) {
+    // With resume on the drivers only schedule the residual, so a
+    // duplicate append is a caller bug.  With resume off they recompute
+    // the full schedule over the existing journal; the journal is
+    // append-only and the first record wins, so the recompute is
+    // absorbed without rewriting.
+    PLINGER_REQUIRE(!opts_.resume,
+                    "ModeResultStore: ik " + std::to_string(ik) +
+                        " already checkpointed");
+    ++n_append_skipped_;
+    return;
+  }
   io::FortranRecordWriter writer(out_);
   writer.record(rec);
+  require_writable("append");
   ++n_appended_;
   ++n_unflushed_;
   if (opts_.flush_interval > 0 && n_unflushed_ >= opts_.flush_interval) {
     out_.flush();
+    require_writable("flush");
     n_unflushed_ = 0;
   }
   if (opts_.stop_after > 0 && !stop_requested_ &&
       n_appended_ >= opts_.stop_after) {
     out_.flush();  // flush-then-stop: the journal survives the "crash"
+    require_writable("flush");
     n_unflushed_ = 0;
     stop_requested_ = true;
   }
@@ -236,9 +277,15 @@ std::size_t ModeResultStore::n_appended() const {
   return n_appended_;
 }
 
+std::size_t ModeResultStore::n_append_skipped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return n_append_skipped_;
+}
+
 void ModeResultStore::flush() {
   const std::lock_guard<std::mutex> lock(mutex_);
   out_.flush();
+  require_writable("flush");
   n_unflushed_ = 0;
 }
 

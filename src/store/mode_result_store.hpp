@@ -55,6 +55,14 @@ class StoreCorrupt : public Error {
   explicit StoreCorrupt(const std::string& what) : Error(what) {}
 };
 
+/// A journal write or flush failed (disk full, I/O error).  Raised
+/// eagerly from append()/flush() — a run must learn that checkpointing
+/// has stopped working now, not on the next resume.
+class StoreWriteError : public Error {
+ public:
+  explicit StoreWriteError(const std::string& what) : Error(what) {}
+};
+
 /// Raw inspection of a journal file, shared by the loader, the tests,
 /// and tooling.  Never throws on mode-record damage: scanning stops at
 /// the first bad record and reports how far the good prefix reaches.
@@ -91,12 +99,16 @@ class ModeResultStore {
   std::size_t n_duplicates_dropped() const { return n_duplicates_; }
 
   /// Append one completed mode.  Thread-safe; flushes per
-  /// StoreOptions::flush_interval.  Appending an ik that is already in
-  /// the journal is a caller bug (the drivers only schedule the
-  /// residual) and throws InvalidArgument.
+  /// StoreOptions::flush_interval.  With resume on, appending an ik that
+  /// is already in the journal is a caller bug (the drivers only
+  /// schedule the residual) and throws InvalidArgument; with resume off
+  /// the drivers recompute the full schedule over an existing journal,
+  /// so an already-journaled ik is silently skipped (append-only: the
+  /// first record wins) and counted in n_append_skipped().
   void append(std::size_t ik, const boltzmann::ModeResult& result);
 
   std::size_t n_appended() const;
+  std::size_t n_append_skipped() const;
 
   /// Push buffered records to the OS now (a checkpoint barrier).
   void flush();
@@ -111,6 +123,7 @@ class ModeResultStore {
 
  private:
   void write_file_header();
+  void require_writable(const char* when);  ///< throws StoreWriteError
 
   StoreOptions opts_;
   RunIdentity id_;
@@ -119,6 +132,7 @@ class ModeResultStore {
   mutable std::mutex mutex_;
   std::ofstream out_;
   std::size_t n_appended_ = 0;
+  std::size_t n_append_skipped_ = 0;
   std::size_t n_unflushed_ = 0;
   bool stop_requested_ = false;
 

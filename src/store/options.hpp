@@ -16,8 +16,10 @@ struct StoreOptions {
 
   /// Consult an existing journal at startup: mark its modes done and
   /// schedule only the remainder.  With resume off an existing journal
-  /// with the right identity is appended to without loading it (the
-  /// loader still deduplicates on the next resume).
+  /// with the right identity is kept but not loaded: the full schedule
+  /// is recomputed, modes missing from the journal are appended, and
+  /// already-journaled modes are skipped on append (the journal is
+  /// append-only; its first record for an ik wins).
   bool resume = true;
 
   /// Flush the journal to the OS every N appended records; 1 (the

@@ -114,6 +114,41 @@ TEST(FaultTolerance, AllWorkersFlakyStillCompletes) {
   EXPECT_TRUE(stats.failed_ik.empty());
 }
 
+TEST(FaultTolerance, ThrowingSinkStopsWorkersCleanly) {
+  // A sink failure (e.g. the checkpoint store surfacing a disk-full
+  // write error) must propagate out of run_master without deadlocking
+  // the worker joins: the master owes every worker a stop message
+  // before it unwinds.
+  const auto sched = sched_n(8);
+  pm::InProcWorld world(3);
+  pp::RunSetup setup;
+  setup.tau_end = 100.0;
+  setup.lmax_cap = 0.0;
+  setup.n_k = static_cast<double>(sched.size());
+
+  std::vector<std::jthread> threads;
+  for (int rank = 1; rank <= 2; ++rank) {
+    threads.emplace_back([&, rank] {
+      auto ctx = pm::initpass(world, rank);
+      pp::run_worker(ctx, sched,
+                     [](const pb::EvolveRequest& req, double) {
+                       return fake_result(req);
+                     });
+    });
+  }
+  auto ctx = pm::initpass(world, 0);
+  int sunk = 0;
+  EXPECT_THROW(pp::run_master(ctx, sched, setup,
+                              [&sunk](std::size_t,
+                                      const pb::ModeResult&) {
+                                if (++sunk == 2) {
+                                  throw plinger::Error("disk full");
+                                }
+                              }),
+               plinger::Error);
+  threads.clear();  // the joins must return, not hang
+}
+
 TEST(HeterogeneousCluster, FasterNodesDoMoreWork) {
   const auto sched = sched_n(64);
   auto cost = [](double) { return 10.0; };

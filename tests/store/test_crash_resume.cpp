@@ -212,6 +212,37 @@ TEST_P(CrashResume, FullyResumedRunComputesNothing) {
   EXPECT_GE(second.flops_per_second(), 0.0);
 }
 
+TEST_P(CrashResume, ResumeOffRecomputesFullSchedule) {
+  const Driver d = GetParam();
+  const auto path = temp_path(std::string("noresume") + driver_name(d));
+  const auto s = make_schedule();
+
+  // Phase 1: a partial journal ("crash" after 3 checkpoints).
+  auto setup = setup_for(s, path);
+  setup.store.stop_after = 3;
+  const auto partial = run_driver(d, s, setup);
+  const auto n_journaled = ps::ModeResultStore::scan(path).iks.size();
+  ASSERT_GE(n_journaled, 3u);
+  ASSERT_LT(n_journaled, kNModes);
+
+  // Phase 2: resume=0 over the existing journal.  Nothing loads, the
+  // full schedule is recomputed (this used to throw on the first
+  // already-journaled append and, under the threaded driver, hang the
+  // worker joins), and only the missing modes are appended.
+  setup.store.stop_after = 0;
+  setup.store.resume = false;
+  const auto second = run_driver(d, s, setup);
+  EXPECT_EQ(second.n_modes_loaded, 0u);
+  EXPECT_EQ(second.n_modes_computed, kNModes);
+  expect_matches_reference(second);
+
+  // The journal converged to one record per mode, no duplicates.
+  auto iks = ps::ModeResultStore::scan(path).iks;
+  std::sort(iks.begin(), iks.end());
+  ASSERT_EQ(iks.size(), kNModes);
+  for (std::size_t i = 0; i < kNModes; ++i) EXPECT_EQ(iks[i], i + 1);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllDrivers, CrashResume,
                          ::testing::Values(Driver::serial,
                                            Driver::autotask,

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -316,7 +317,10 @@ TEST(ModeResultStore, DuplicateAppendThrows) {
   EXPECT_EQ(st.n_appended(), 1u);
 }
 
-TEST(ModeResultStore, ResumeOffStillGuardsDuplicates) {
+TEST(ModeResultStore, ResumeOffSkipsJournaledAppends) {
+  // With resume off the drivers recompute the full schedule over an
+  // existing journal, so append must absorb already-journaled modes
+  // (append-only, first record wins) instead of throwing.
   const auto path = temp_path("noresume");
   const auto id = test_identity();
   {
@@ -324,15 +328,22 @@ TEST(ModeResultStore, ResumeOffStillGuardsDuplicates) {
     st.append(1, fake_result(0.01));
     st.append(2, fake_result(0.02));
   }
-  auto o = opts_for(path);
-  o.resume = false;
-  ps::ModeResultStore st(o, id, 4);
-  EXPECT_EQ(st.n_loaded(), 0u);  // nothing resumed...
-  EXPECT_THROW(st.append(1, fake_result(0.01)),  // ...but the journal
-               plinger::InvalidArgument);        // index still holds
-  st.append(3, fake_result(0.03));
-  EXPECT_EQ(ps::ModeResultStore::scan(path).iks,
-            (std::vector<std::size_t>{1, 2, 3}));
+  {
+    auto o = opts_for(path);
+    o.resume = false;
+    ps::ModeResultStore st(o, id, 4);
+    EXPECT_EQ(st.n_loaded(), 0u);      // nothing resumed...
+    st.append(1, fake_result(0.05));   // ...recompute is absorbed
+    EXPECT_EQ(st.n_appended(), 0u);
+    EXPECT_EQ(st.n_append_skipped(), 1u);
+    st.append(3, fake_result(0.03));   // fresh modes still append
+    EXPECT_EQ(st.n_appended(), 1u);
+    EXPECT_EQ(ps::ModeResultStore::scan(path).iks,
+              (std::vector<std::size_t>{1, 2, 3}));
+  }
+  // The journal's original record for ik 1 won, not the recompute.
+  ps::ModeResultStore st(opts_for(path), id, 4);
+  EXPECT_EQ(st.loaded().at(1).k, 0.01);
 }
 
 TEST(ModeResultStore, FlushThenStopHook) {
@@ -353,4 +364,42 @@ TEST(ModeResultStore, FlushThenStopHook) {
 TEST(ModeResultStore, ScanMissingFileThrows) {
   EXPECT_THROW(ps::ModeResultStore::scan(temp_path("absent")),
                ps::StoreCorrupt);
+}
+
+TEST(ModeResultStore, CorruptHeaderFieldsAreRejectedNotCast) {
+  // A well-framed header whose identity/grid doubles are NaN, negative,
+  // or out of range must throw StoreCorrupt — casting them to integers
+  // first would be undefined behavior.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::vector<double>> bad_fields = {
+      {nan, 0.0, 4.0},          // identity_hi NaN
+      {0.0, -1.0, 4.0},         // identity_lo negative
+      {1e300, 0.0, 4.0},        // identity_hi out of 32-bit range
+      {0.5, 0.0, 4.0},          // identity_hi non-integral
+      {0.0, 0.0, 9.1e15},       // n_k past 2^53
+  };
+  for (const auto& f : bad_fields) {
+    const auto path = temp_path("badheader");
+    {
+      std::ofstream os(path, std::ios::binary);
+      plinger::io::FortranRecordWriter w(os);
+      const std::vector<double> rec = {1347440199.0, 1.0, f[0], f[1],
+                                       f[2], 0.0};
+      w.record(rec);
+    }
+    EXPECT_THROW(ps::ModeResultStore::scan(path), ps::StoreCorrupt);
+    EXPECT_THROW(ps::ModeResultStore(opts_for(path), test_identity(), 4),
+                 ps::StoreCorrupt);
+  }
+}
+
+TEST(ModeResultStore, WriteFailureIsSurfaced) {
+  // /dev/full accepts opens and buffers writes but fails them on flush
+  // with ENOSPC — exactly the silent-failbit case append() must turn
+  // into an error instead of pretending the mode was checkpointed.
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "no /dev/full here";
+  ps::StoreOptions o;
+  o.path = "/dev/full";
+  EXPECT_THROW(ps::ModeResultStore(o, test_identity(), 4),
+               ps::StoreWriteError);
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cmath>
 
+#include "io/bench_json.hpp"
 #include "math/spline.hpp"
 #include "plinger/driver.hpp"
 #include "plinger/virtual_cluster.hpp"
@@ -33,6 +34,7 @@ int main() {
               "evaluation):\n");
   std::printf("   k [1/Mpc]   lmax    RHS evals    Gflop     CPU [s]   "
               "Mflop/s\n");
+  io::BenchReport report("floprate");
   double total_flops = 0.0, total_cpu = 0.0;
   for (double k : {0.002, 0.01, 0.03, 0.06}) {
     boltzmann::EvolveRequest req;
@@ -44,8 +46,18 @@ int main() {
                 k, r.lmax, r.stats.n_rhs,
                 static_cast<double>(r.flops) / 1e9, r.cpu_seconds,
                 static_cast<double>(r.flops) / r.cpu_seconds / 1e6);
+    char kbuf[32];
+    std::snprintf(kbuf, sizeof kbuf, "%g", k);
+    report.add("mode")
+        .label("k", kbuf)
+        .metric("lmax", static_cast<double>(r.lmax))
+        .metric("n_rhs", static_cast<double>(r.stats.n_rhs))
+        .metric("flops", static_cast<double>(r.flops))
+        .metric("cpu_seconds", r.cpu_seconds)
+        .metric("mflops", static_cast<double>(r.flops) / r.cpu_seconds / 1e6);
   }
   const double node_rate = total_flops / total_cpu;
+  report.add("node").metric("sustained_mflops", node_rate / 1e6);
   std::printf("\nsingle-node sustained rate: %.0f Mflop/s\n",
               node_rate / 1e6);
   std::printf("(paper single nodes: C90 570, Power2 40-58, T3D 15 "
@@ -92,5 +104,9 @@ int main() {
   std::printf("\nratio check: paper 256/64 = %.2f, ours = %.2f "
               "(linear scaling)\n",
               9.6 / 2.4, agg256 / agg64);
+  report.add("aggregate")
+      .metric("gflops_64_nodes", agg64 / 1e9)
+      .metric("gflops_256_nodes", agg256 / 1e9);
+  std::printf("wrote %s\n", report.write_file().c_str());
   return 0;
 }

@@ -9,20 +9,118 @@ namespace plinger::boltzmann {
 
 using cosmo::GrhoComponents;
 
+namespace {
+
+/// Interior Boltzmann-hierarchy rows, l in [l_begin, l_end):
+///   df[l] = lo[l] f[l-1] - hi[l] f[l+1] [- opac f[l]]
+/// These streams are the hottest loops in the code.  target_clones adds
+/// a 4-wide AVX2 path dispatched at load time on hardware that has it,
+/// while the build stays runnable on any x86-64: both clones perform
+/// the identical per-element multiply/subtract sequence (no FMA
+/// contraction), so the results are bitwise independent of which clone
+/// runs.
+__attribute__((target_clones("avx2", "default"))) void
+hierarchy_interior_damped(const double* __restrict__ f,
+                          double* __restrict__ df,
+                          const double* __restrict__ lo,
+                          const double* __restrict__ hi, double opac,
+                          std::size_t l_begin, std::size_t l_end) {
+  for (std::size_t l = l_begin; l < l_end; ++l) {
+    df[l] = lo[l] * f[l - 1] - hi[l] * f[l + 1] - opac * f[l];
+  }
+}
+
+__attribute__((target_clones("avx2", "default"))) void
+hierarchy_interior(const double* __restrict__ f, double* __restrict__ df,
+                   const double* __restrict__ lo,
+                   const double* __restrict__ hi, std::size_t l_begin,
+                   std::size_t l_end) {
+  for (std::size_t l = l_begin; l < l_end; ++l) {
+    df[l] = lo[l] * f[l - 1] - hi[l] * f[l + 1];
+  }
+}
+
+/// Below this many interior rows the dispatched kernel call costs more
+/// than the loop body; the wrappers run short hierarchies (the low-k
+/// modes) in place.  Both paths compute the identical per-element
+/// expression, so the cutoff never affects results.
+constexpr std::size_t kShortHierarchy = 16;
+
+inline void run_hierarchy_damped(const double* __restrict__ f,
+                                 double* __restrict__ df,
+                                 const double* __restrict__ lo,
+                                 const double* __restrict__ hi, double opac,
+                                 std::size_t l_begin, std::size_t l_end) {
+  if (l_end < l_begin + kShortHierarchy) {
+    for (std::size_t l = l_begin; l < l_end; ++l) {
+      df[l] = lo[l] * f[l - 1] - hi[l] * f[l + 1] - opac * f[l];
+    }
+  } else {
+    hierarchy_interior_damped(f, df, lo, hi, opac, l_begin, l_end);
+  }
+}
+
+inline void run_hierarchy(const double* __restrict__ f,
+                          double* __restrict__ df,
+                          const double* __restrict__ lo,
+                          const double* __restrict__ hi,
+                          std::size_t l_begin, std::size_t l_end) {
+  if (l_end < l_begin + kShortHierarchy) {
+    for (std::size_t l = l_begin; l < l_end; ++l) {
+      df[l] = lo[l] * f[l - 1] - hi[l] * f[l + 1];
+    }
+  } else {
+    hierarchy_interior(f, df, lo, hi, l_begin, l_end);
+  }
+}
+
+}  // namespace
+
 ModeEquations::ModeEquations(const cosmo::Background& bg,
                              const cosmo::Recombination& rec,
-                             const PerturbationConfig& cfg, double k)
+                             const PerturbationConfig& cfg, double k,
+                             const cosmo::ThermoCache* cache)
     : bg_(bg),
       rec_(rec),
       cfg_(cfg),
       k_(k),
       layout_(cfg.lmax_photon,
               std::min(cfg.lmax_polarization, cfg.lmax_photon),
-              cfg.lmax_neutrino, cfg.n_q, cfg.lmax_massive_nu) {
+              cfg.lmax_neutrino, cfg.n_q, cfg.lmax_massive_nu),
+      cache_(cache) {
   PLINGER_REQUIRE(k > 0.0, "ModeEquations: k must be positive");
   PLINGER_REQUIRE(cfg.n_q == 0 || bg.nu() != nullptr,
                   "ModeEquations: n_q > 0 requires massive neutrinos in the "
                   "background");
+
+  k_third_ = k_ / 3.0;
+  k_fifth_ = k_ / 5.0;
+  inv_2k2_ = 1.0 / (2.0 * k_ * k_);
+
+  // Hierarchy coupling tables (see the header): one divide per multipole
+  // here instead of one per multipole per RHS call.
+  const std::size_t lk = std::max(
+      {layout_.lmax_photon(), layout_.lmax_polarization(),
+       layout_.lmax_neutrino()});
+  lo_k_.resize(lk + 1);
+  hi_k_.resize(lk + 1);
+  for (std::size_t l = 0; l <= lk; ++l) {
+    const double dl = static_cast<double>(l);
+    lo_k_[l] = k_ * dl / (2.0 * dl + 1.0);
+    hi_k_[l] = k_ * (dl + 1.0) / (2.0 * dl + 1.0);
+  }
+  if (layout_.n_q() > 0) {
+    const std::size_t lm = layout_.lmax_massive_nu();
+    lo_q_.resize(lm + 1);
+    hi_q_.resize(lm + 1);
+    for (std::size_t l = 0; l <= lm; ++l) {
+      const double dl = static_cast<double>(l);
+      lo_q_[l] = dl / (2.0 * dl + 1.0);
+      hi_q_[l] = (dl + 1.0) / (2.0 * dl + 1.0);
+    }
+    nu_norm_ = static_cast<double>(bg_.params().n_massive_nu) /
+               bg_.nu()->grid_norm_massless();
+  }
 }
 
 std::vector<double> ModeEquations::initial_conditions(double tau) const {
@@ -143,10 +241,28 @@ ModeEquations::Common ModeEquations::compute_common(
   const StateLayout& L = layout_;
   Common c;
   c.a = std::max(y[StateLayout::a], 1e-12);
-  c.grho = bg_.grho(c.a);
-  c.adotoa = std::sqrt(c.grho.total() / 3.0);
-  c.opac = rec_.opacity(c.a);
-  c.cs2 = rec_.cs2_baryon(c.a);
+  double nu_xi = 0.0;
+  double grho_nu_rel_one = 0.0;
+  if (cache_ != nullptr) {
+    // One fused O(1) lookup for everything per-a.
+    const cosmo::ThermoPoint tp = cache_->eval(c.a);
+    c.grho = tp.grho;
+    c.adotoa = tp.adotoa;
+    c.adotdota = tp.adotdota_over_a;
+    c.opac = tp.opacity;
+    c.cs2 = tp.cs2_baryon;
+    nu_xi = tp.nu_xi;
+    grho_nu_rel_one = tp.grho_nu_rel_one;
+  } else {
+    c.grho = bg_.grho(c.a);
+    c.adotoa = std::sqrt(c.grho.total() / 3.0);
+    c.opac = rec_.opacity(c.a);
+    c.cs2 = rec_.cs2_baryon(c.a);
+    if (L.n_q() > 0) {
+      nu_xi = bg_.nu_xi(c.a);
+      grho_nu_rel_one = bg_.grho_nu_rel_one(c.a);
+    }
+  }
   c.r_photon_baryon = (4.0 / 3.0) * c.grho.photon / c.grho.baryon;
 
   const double delta_nu = y[L.fn(0)];
@@ -165,10 +281,8 @@ ModeEquations::Common ModeEquations::compute_common(
 
   if (L.n_q() > 0) {
     const auto& grid = bg_.nu()->q_grid();
-    const double xi = bg_.nu_xi(c.a);
-    const double gr1 = bg_.grho_nu_rel_one(c.a) *
-                       static_cast<double>(bg_.params().n_massive_nu) /
-                       bg_.nu()->grid_norm_massless();
+    const double xi = nu_xi;
+    const double gr1 = grho_nu_rel_one * nu_norm_;
     double s_rho = 0.0, s_q = 0.0, s_sig = 0.0;
     for (std::size_t iq = 0; iq < L.n_q(); ++iq) {
       const double q = grid[iq].q;
@@ -185,8 +299,8 @@ ModeEquations::Common ModeEquations::compute_common(
 
   // Einstein constraints (MB95 eqs. 21a, 21b).
   c.hdot = (2.0 * k_ * k_ * y[StateLayout::eta] + c.gdrho) / c.adotoa;
-  c.etadot = c.gdq / (2.0 * k_ * k_);
-  c.alpha = (c.hdot + 6.0 * c.etadot) / (2.0 * k_ * k_);
+  c.etadot = c.gdq * inv_2k2_;
+  c.alpha = (c.hdot + 6.0 * c.etadot) * inv_2k2_;
 
   // Photon shear: from the state after tight coupling, slaved during it.
   double sigma_g;
@@ -207,14 +321,13 @@ void ModeEquations::massless_nu_rhs(double tau, std::span<const double> y,
   const StateLayout& L = layout_;
   const std::size_t lmax = L.lmax_neutrino();
   dy[L.fn(0)] = -k_ * y[L.fn(1)] - (2.0 / 3.0) * c.hdot;
-  dy[L.fn(1)] = (k_ / 3.0) * (y[L.fn(0)] - 2.0 * y[L.fn(2)]);
-  dy[L.fn(2)] = (k_ / 5.0) * (2.0 * y[L.fn(1)] - 3.0 * y[L.fn(3)]) +
+  dy[L.fn(1)] = k_third_ * (y[L.fn(0)] - 2.0 * y[L.fn(2)]);
+  dy[L.fn(2)] = k_fifth_ * (2.0 * y[L.fn(1)] - 3.0 * y[L.fn(3)]) +
                 (4.0 / 15.0) * c.hdot + (8.0 / 5.0) * c.etadot;
-  for (std::size_t l = 3; l < lmax; ++l) {
-    const double dl = static_cast<double>(l);
-    dy[L.fn(l)] = k_ / (2.0 * dl + 1.0) *
-                  (dl * y[L.fn(l - 1)] - (dl + 1.0) * y[L.fn(l + 1)]);
-  }
+  // Interior multipoles: contiguous fn block, precomputed couplings —
+  // a pure multiply-add stream.
+  run_hierarchy(y.data() + L.fn(0), dy.data() + L.fn(0), lo_k_.data(),
+                hi_k_.data(), 3, lmax);
   // Truncation (MB95 eq. 51 analogue).
   dy[L.fn(lmax)] = k_ * y[L.fn(lmax - 1)] -
                    (static_cast<double>(lmax) + 1.0) / tau * y[L.fn(lmax)];
@@ -228,28 +341,28 @@ void ModeEquations::massive_nu_rhs(double tau, std::span<const double> y,
   const auto& grid = bg_.nu()->q_grid();
   const double xi = bg_.nu_xi(c.a);
   const std::size_t lmax = L.lmax_massive_nu();
+  // Per-row invariants hoisted out of the q loop.
+  const double hdot6 = (c.hdot / 6.0);
+  const double source2 = (c.hdot / 15.0 + 2.0 / 5.0 * c.etadot);
+  const double trunc = (static_cast<double>(lmax) + 1.0) / tau;
+  const double* __restrict__ lo = lo_q_.data();
+  const double* __restrict__ hi = hi_q_.data();
   for (std::size_t iq = 0; iq < L.n_q(); ++iq) {
     const double q = grid[iq].q;
     const double dlnf = grid[iq].dlnf0dlnq;
     const double eps = std::sqrt(q * q + xi * xi);
     const double qke = q * k_ / eps;
-    dy[L.psi(iq, 0)] =
-        -qke * y[L.psi(iq, 1)] + (c.hdot / 6.0) * dlnf;
-    dy[L.psi(iq, 1)] =
-        (qke / 3.0) * (y[L.psi(iq, 0)] - 2.0 * y[L.psi(iq, 2)]);
-    dy[L.psi(iq, 2)] =
-        (qke / 5.0) * (2.0 * y[L.psi(iq, 1)] - 3.0 * y[L.psi(iq, 3)]) -
-        (c.hdot / 15.0 + 2.0 / 5.0 * c.etadot) * dlnf;
+    // Each q row is a contiguous (lmax+1)-slot block.
+    const double* __restrict__ ps = y.data() + L.psi(iq, 0);
+    double* __restrict__ dps = dy.data() + L.psi(iq, 0);
+    dps[0] = -qke * ps[1] + hdot6 * dlnf;
+    dps[1] = (qke / 3.0) * (ps[0] - 2.0 * ps[2]);
+    dps[2] = (qke / 5.0) * (2.0 * ps[1] - 3.0 * ps[3]) - source2 * dlnf;
     for (std::size_t l = 3; l < lmax; ++l) {
-      const double dl = static_cast<double>(l);
-      dy[L.psi(iq, l)] =
-          qke / (2.0 * dl + 1.0) *
-          (dl * y[L.psi(iq, l - 1)] - (dl + 1.0) * y[L.psi(iq, l + 1)]);
+      dps[l] = qke * (lo[l] * ps[l - 1] - hi[l] * ps[l + 1]);
     }
     // Truncation (MB95 eq. 58).
-    dy[L.psi(iq, lmax)] =
-        qke * y[L.psi(iq, lmax - 1)] -
-        (static_cast<double>(lmax) + 1.0) / tau * y[L.psi(iq, lmax)];
+    dps[lmax] = qke * ps[lmax - 1] - trunc * ps[lmax];
   }
 }
 
@@ -260,6 +373,7 @@ void ModeEquations::rhs_full(double tau, std::span<const double> y,
   const Common c = compute_common(y, /*photon_shear_from_state=*/true);
   const std::size_t lmax = L.lmax_photon();
   const double k = k_;
+  const double inv_tau = 1.0 / tau;  // shared by the truncation rows
 
   dy[StateLayout::a] = c.a * c.adotoa;
   dy[StateLayout::h] = c.hdot;
@@ -286,31 +400,27 @@ void ModeEquations::rhs_full(double tau, std::span<const double> y,
                 (3.0 / 5.0) * k * y[L.fg(3)] + (4.0 / 15.0) * c.hdot +
                 (8.0 / 5.0) * c.etadot - (9.0 / 5.0) * c.opac * sigma_g +
                 (1.0 / 10.0) * c.opac * (y[L.gg(0)] + y[L.gg(2)]);
-  for (std::size_t l = 3; l < lmax; ++l) {
-    const double dl = static_cast<double>(l);
-    dy[L.fg(l)] = k / (2.0 * dl + 1.0) *
-                      (dl * y[L.fg(l - 1)] - (dl + 1.0) * y[L.fg(l + 1)]) -
-                  c.opac * y[L.fg(l)];
-  }
+  // Interior multipoles: the fg block is contiguous (f[l] = y[L.fg(l)]),
+  // the couplings are precomputed, and the body is a pure multiply-add
+  // stream — the single hottest loop in the code.  y and dy are distinct
+  // integrator workspaces, satisfying the kernel's restrict contract.
+  run_hierarchy_damped(y.data() + (L.fg(2) - 2), dy.data() + (L.fg(2) - 2),
+                       lo_k_.data(), hi_k_.data(), c.opac, 3, lmax);
   dy[L.fg(lmax)] = k * y[L.fg(lmax - 1)] -
-                   (static_cast<double>(lmax) + 1.0) / tau * y[L.fg(lmax)] -
+                   (static_cast<double>(lmax) + 1.0) * inv_tau * y[L.fg(lmax)] -
                    c.opac * y[L.fg(lmax)];
 
   // Photon polarization hierarchy (MB95 eq. 64).
   dy[L.gg(0)] = -k * y[L.gg(1)] + c.opac * (0.5 * pi_pol - y[L.gg(0)]);
-  dy[L.gg(1)] = (k / 3.0) * (y[L.gg(0)] - 2.0 * y[L.gg(2)]) -
+  dy[L.gg(1)] = k_third_ * (y[L.gg(0)] - 2.0 * y[L.gg(2)]) -
                 c.opac * y[L.gg(1)];
-  dy[L.gg(2)] = (k / 5.0) * (2.0 * y[L.gg(1)] - 3.0 * y[L.gg(3)]) +
+  dy[L.gg(2)] = k_fifth_ * (2.0 * y[L.gg(1)] - 3.0 * y[L.gg(3)]) +
                 c.opac * (0.1 * pi_pol - y[L.gg(2)]);
   const std::size_t lpol = L.lmax_polarization();
-  for (std::size_t l = 3; l < lpol; ++l) {
-    const double dl = static_cast<double>(l);
-    dy[L.gg(l)] = k / (2.0 * dl + 1.0) *
-                      (dl * y[L.gg(l - 1)] - (dl + 1.0) * y[L.gg(l + 1)]) -
-                  c.opac * y[L.gg(l)];
-  }
+  run_hierarchy_damped(y.data() + L.gg(0), dy.data() + L.gg(0), lo_k_.data(),
+                       hi_k_.data(), c.opac, 3, lpol);
   dy[L.gg(lpol)] = k * y[L.gg(lpol - 1)] -
-                   (static_cast<double>(lpol) + 1.0) / tau * y[L.gg(lpol)] -
+                   (static_cast<double>(lpol) + 1.0) * inv_tau * y[L.gg(lpol)] -
                    c.opac * y[L.gg(lpol)];
 
   massless_nu_rhs(tau, y, dy, c);
@@ -341,7 +451,8 @@ void ModeEquations::rhs_tca(double tau, std::span<const double> y,
                          (y[StateLayout::theta_g] + k2 * c.alpha);
 
   // First-order slip expansion (MB95 eq. 67, synchronous gauge).
-  const double addoa = bg_.adotdota_over_a(c.a);
+  const double addoa =
+      cache_ != nullptr ? c.adotdota : bg_.adotdota_over_a(c.a);
   const double slip =
       (2.0 * r / (1.0 + r)) * c.adotoa *
           (y[StateLayout::theta_b] - y[StateLayout::theta_g]) +
@@ -514,15 +625,22 @@ double ModeEquations::delta_matter(std::span<const double> y) const {
 
 std::uint64_t ModeEquations::flops_per_rhs() const {
   const StateLayout& L = layout_;
-  // Operation counts of the loops above (multiply+add = 2 flops), plus a
-  // fixed overhead for the common block and fluid equations.  This is the
-  // estimate the Mflop bench reports, in the spirit of the paper's §5.1.
+  // Operation counts of the loops above, in the spirit of the paper's
+  // §5.1.  With the tabulated couplings each interior photon /
+  // polarization multipole costs 3 multiplies + 2 subtracts (5 flops,
+  // including the opacity damping), each massless-neutrino one 2
+  // multiplies + 1 subtract (3 flops), and each massive-neutrino row
+  // slot one extra multiply for the q k / eps scale (4 flops) plus ~28
+  // flops of per-row setup (sqrt, sources, truncation).  The common
+  // block is 140 flops on the fused-cache path (one table interpolation
+  // + analytic densities) and 180 on the direct-spline path.
+  const std::uint64_t common = cache_ != nullptr ? 140 : 180;
   const std::uint64_t photons =
-      (L.lmax_photon() - 1) * 9 + (L.lmax_polarization() + 1) * 9;
-  const std::uint64_t neutrinos = (L.lmax_neutrino() + 1) * 9;
+      (L.lmax_photon() - 1) * 5 + (L.lmax_polarization() + 1) * 5;
+  const std::uint64_t neutrinos = (L.lmax_neutrino() + 1) * 3;
   const std::uint64_t massive =
-      L.n_q() * ((L.lmax_massive_nu() + 1) * 11 + 30);
-  return 180 + photons + neutrinos + massive;
+      L.n_q() * ((L.lmax_massive_nu() + 1) * 4 + 28);
+  return common + photons + neutrinos + massive;
 }
 
 }  // namespace plinger::boltzmann

@@ -22,6 +22,7 @@
 #include "boltzmann/config.hpp"
 #include "cosmo/background.hpp"
 #include "cosmo/recombination.hpp"
+#include "cosmo/thermo_cache.hpp"
 
 namespace plinger::boltzmann {
 
@@ -47,9 +48,16 @@ struct EinsteinResiduals {
 /// scratch; one instance per worker, not shared across threads.
 class ModeEquations {
  public:
+  /// With a non-null `cache` the per-a background/thermo quantities come
+  /// from one fused O(1) ThermoCache lookup instead of the individual
+  /// Background/Recombination splines — same physics, hot-path speed.
+  /// The cache must outlive this object and match (bg, rec).  Passing
+  /// nullptr keeps the direct-spline path (used as the reference and as
+  /// the bench baseline).
   ModeEquations(const cosmo::Background& bg,
                 const cosmo::Recombination& rec,
-                const PerturbationConfig& cfg, double k);
+                const PerturbationConfig& cfg, double k,
+                const cosmo::ThermoCache* cache = nullptr);
 
   const StateLayout& layout() const { return layout_; }
   double k() const { return k_; }
@@ -115,6 +123,7 @@ class ModeEquations {
   /// Everything both RHS variants need at a given (tau, y).
   struct Common {
     double a, adotoa, opac, cs2;
+    double adotdota = 0.0;   ///< a''/a; filled only on the cached path
     double r_photon_baryon;  ///< R = 4 rho_g / (3 rho_b)
     double gdrho;            ///< 8 pi G a^2 delta rho
     double gdq;              ///< 8 pi G a^2 (rho+p) theta
@@ -137,6 +146,29 @@ class ModeEquations {
   PerturbationConfig cfg_;
   double k_;
   StateLayout layout_;
+  const cosmo::ThermoCache* cache_ = nullptr;
+
+  /// Precomputed hierarchy couplings: the per-multipole divides
+  /// k l/(2l+1) (and the k-free variant for the massive-neutrino rows,
+  /// which carry q k / eps instead of k) are the hottest arithmetic in
+  /// the RHS; tabulating them at construction turns the interior
+  /// hierarchy loops into pure multiply-add streams.
+  std::vector<double> lo_k_;  ///< k l/(2l+1), photon/pol/massless nu
+  std::vector<double> hi_k_;  ///< k (l+1)/(2l+1)
+  std::vector<double> lo_q_;  ///< l/(2l+1), massive nu (times qke)
+  std::vector<double> hi_q_;  ///< (l+1)/(2l+1)
+
+  /// Per-mode constants hoisted out of the RHS: divides are the most
+  /// expensive scalar ops left on the cached path, and these three keep
+  /// recurring with the same operands every call.  k_third_/k_fifth_ are
+  /// bitwise identical to the per-call k/3, k/5 they replace; the
+  /// reciprocal inv_2k2_ turns the two Einstein-constraint divides into
+  /// multiplies (last-ulp change, covered by the golden tolerances).
+  double k_third_ = 0.0;  ///< k / 3
+  double k_fifth_ = 0.0;  ///< k / 5
+  double inv_2k2_ = 0.0;  ///< 1 / (2 k^2)
+  double nu_norm_ = 0.0;  ///< n_massive_nu / grid_norm_massless()
+
   mutable std::uint64_t n_calls_ = 0;
 };
 

@@ -20,9 +20,10 @@ std::vector<double> los_sample_taus(const cosmo::Background& bg,
   double norm = 0.0, var = 0.0;
   const int n_scan = 400;
   const double lo = 0.3 * tau_star, hi = std::min(3.0 * tau_star, tau0);
+  std::size_t hint = 0;  // tau ascends: the hinted lookup stays O(1)
   for (int i = 0; i < n_scan; ++i) {
     const double t = lo + (hi - lo) * (i + 0.5) / n_scan;
-    const double g = rec.visibility(t);
+    const double g = rec.visibility(t, hint);
     norm += g;
     var += g * (t - tau_star) * (t - tau_star);
   }
@@ -60,17 +61,18 @@ std::vector<double> los_f_gamma(const cosmo::Background& bg,
   // Source terms per sample (conformal Newtonian gauge).
   const std::size_t n = samples.size();
   std::vector<double> tau(n), s_mono(n), s_dopp(n), phipsi(n), ekappa(n);
+  std::size_t hint = 0;  // samples ascend in tau; shared kappa-spline hint
   for (std::size_t j = 0; j < n; ++j) {
     const TransferSample& s = samples[j];
     tau[j] = s.tau;
     const double adotoa = bg.adotoa(s.a);
     const double theta0_n = 0.25 * (s.delta_g - 4.0 * adotoa * s.alpha);
     const double vb_n = (s.theta_b + s.alpha * k * k) / k;
-    const double g = rec.visibility(s.tau);
+    const double g = rec.visibility(s.tau, hint);
     s_mono[j] = g * (theta0_n + s.psi);
     s_dopp[j] = g * vb_n;
     phipsi[j] = s.phi + s.psi;
-    ekappa[j] = std::exp(-std::min(680.0, rec.kappa(s.tau)));
+    ekappa[j] = std::exp(-std::min(680.0, rec.kappa(s.tau, hint)));
   }
   // ISW: e^{-kappa} d(phi+psi)/dtau via a spline derivative.
   const plinger::math::CubicSpline pp(tau, phipsi);

@@ -12,7 +12,14 @@ namespace plinger::boltzmann {
 ModeEvolver::ModeEvolver(const cosmo::Background& bg,
                          const cosmo::Recombination& rec,
                          const PerturbationConfig& cfg)
-    : bg_(bg), rec_(rec), cfg_(cfg) {}
+    : ModeEvolver(bg, rec, cfg,
+                  std::make_shared<const cosmo::ThermoCache>(bg, rec)) {}
+
+ModeEvolver::ModeEvolver(const cosmo::Background& bg,
+                         const cosmo::Recombination& rec,
+                         const PerturbationConfig& cfg,
+                         std::shared_ptr<const cosmo::ThermoCache> cache)
+    : bg_(bg), rec_(rec), cfg_(cfg), cache_(std::move(cache)) {}
 
 namespace {
 
@@ -54,7 +61,7 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
   cfg.lmax_photon = (req.lmax_photon != 0)
                         ? req.lmax_photon
                         : lmax_photon_for_k(req.k, tau_end);
-  ModeEquations eq(bg_, rec_, cfg, req.k);
+  ModeEquations eq(bg_, rec_, cfg, req.k, cache_.get());
 
   // Start superhorizon AND radiation-dominated.
   const double tau_init =
@@ -84,18 +91,40 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
   }
 
   // Integration breakpoints: switch point plus every in-range sample.
-  std::vector<double> stops;
+  // Each stop carries its "record a sample here" tag so the loop below
+  // does not rescan sample_taus at every breakpoint (that scan was
+  // O(n_samples) per stop, i.e. quadratic in the request size).
+  struct Stop {
+    double tau;
+    bool sample;
+  };
+  std::vector<Stop> stops;
+  stops.reserve(req.sample_taus.size() + 2);
   for (double t : req.sample_taus) {
-    if (t > tau_init && t < tau_end) stops.push_back(t);
+    if (t > tau_init && t < tau_end) stops.push_back({t, true});
   }
-  stops.push_back(tau_switch);
-  stops.push_back(tau_end);
-  std::sort(stops.begin(), stops.end());
-  stops.erase(std::unique(stops.begin(), stops.end(),
-                          [](double a, double b) {
-                            return std::abs(a - b) < 1e-12;
-                          }),
-              stops.end());
+  // The switch/end stops still count as sample points when a requested
+  // time lands on them (within the dedup tolerance) — the same semantics
+  // the per-stop scan had.
+  auto near_sample = [&req](double t) {
+    return std::any_of(req.sample_taus.begin(), req.sample_taus.end(),
+                       [t](double s) { return std::abs(s - t) < 1e-12; });
+  };
+  stops.push_back({tau_switch, near_sample(tau_switch)});
+  stops.push_back({tau_end, near_sample(tau_end)});
+  std::sort(stops.begin(), stops.end(),
+            [](const Stop& a, const Stop& b) { return a.tau < b.tau; });
+  // Dedup against the last kept stop (as std::unique does), OR-ing the
+  // sample tags of merged stops.
+  std::size_t n_kept = 0;
+  for (const Stop& s : stops) {
+    if (n_kept > 0 && std::abs(s.tau - stops[n_kept - 1].tau) < 1e-12) {
+      stops[n_kept - 1].sample = stops[n_kept - 1].sample || s.sample;
+    } else {
+      stops[n_kept++] = s;
+    }
+  }
+  stops.resize(n_kept);
 
   ModeResult result;
   result.k = req.k;
@@ -110,14 +139,10 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
   opts.rtol = cfg.rtol;
   opts.atol = cfg.atol;
 
-  auto want_sample = [&](double t) {
-    return std::any_of(req.sample_taus.begin(), req.sample_taus.end(),
-                       [t](double s) { return std::abs(s - t) < 1e-12; });
-  };
-
   bool in_tca = tau_switch > tau_init;
   double t_cur = tau_init;
-  for (double t_next : stops) {
+  for (const Stop& stop : stops) {
+    const double t_next = stop.tau;
     if (t_next <= t_cur) continue;
     auto rhs = [&eq, in_tca](double t, std::span<const double> yy,
                              std::span<double> dd) {
@@ -137,7 +162,7 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
       eq.tca_handoff(t_cur, y);
       in_tca = false;
     }
-    if (want_sample(t_cur)) {
+    if (stop.sample) {
       result.samples.push_back(make_sample(eq, t_cur, y));
     }
   }

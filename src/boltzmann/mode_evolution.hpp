@@ -5,6 +5,7 @@
 /// wavenumber.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "boltzmann/equations.hpp"
@@ -55,8 +56,17 @@ struct EvolveRequest {
 /// background/thermodynamics; each worker owns one evolver.
 class ModeEvolver {
  public:
+  /// Builds a private ThermoCache for this evolver (convenience for
+  /// single-evolver callers; drivers share one cache via the overload).
   ModeEvolver(const cosmo::Background& bg, const cosmo::Recombination& rec,
               const PerturbationConfig& cfg);
+
+  /// Shares a prebuilt per-run cache across workers.  `cache` must have
+  /// been built from the same (bg, rec); nullptr selects the direct
+  /// spline path (the pre-cache reference implementation).
+  ModeEvolver(const cosmo::Background& bg, const cosmo::Recombination& rec,
+              const PerturbationConfig& cfg,
+              std::shared_ptr<const cosmo::ThermoCache> cache);
 
   /// Evolve one wavenumber to tau_end (default: the conformal age).
   ModeResult evolve(const EvolveRequest& req, double tau_end = 0.0) const;
@@ -64,11 +74,13 @@ class ModeEvolver {
   const PerturbationConfig& config() const { return cfg_; }
   const cosmo::Background& background() const { return bg_; }
   const cosmo::Recombination& recombination() const { return rec_; }
+  const cosmo::ThermoCache* thermo_cache() const { return cache_.get(); }
 
  private:
   const cosmo::Background& bg_;
   const cosmo::Recombination& rec_;
   PerturbationConfig cfg_;
+  std::shared_ptr<const cosmo::ThermoCache> cache_;
 };
 
 }  // namespace plinger::boltzmann

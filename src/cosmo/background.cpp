@@ -94,8 +94,7 @@ GrhoComponents Background::grho(double a) const {
   return g;
 }
 
-double Background::gpres(double a) const {
-  const GrhoComponents g = grho(a);
+double Background::gpres_of(const GrhoComponents& g, double a) const {
   double p = (g.photon + g.nu_massless) / 3.0 - g.lambda;
   if (nu_) {
     // p/rho for the massive species: (p_ratio/3) / rho_ratio relative to
@@ -106,12 +105,15 @@ double Background::gpres(double a) const {
   return p;
 }
 
+double Background::gpres(double a) const { return gpres_of(grho(a), a); }
+
 double Background::adotoa(double a) const {
   return std::sqrt(grho(a).total() / 3.0);
 }
 
 double Background::adotdota_over_a(double a) const {
-  return (grho(a).total() - 3.0 * gpres(a)) / 6.0;
+  const GrhoComponents g = grho(a);
+  return (g.total() - 3.0 * gpres_of(g, a)) / 6.0;
 }
 
 double Background::tau_of_a(double a) const {
@@ -121,8 +123,12 @@ double Background::tau_of_a(double a) const {
 }
 
 double Background::a_of_tau(double tau) const {
+  return std::exp(lna_of_tau(tau));
+}
+
+double Background::lna_of_tau(double tau) const {
   PLINGER_REQUIRE(tau > 0.0, "a_of_tau: tau must be positive");
-  return std::exp(lna_of_tau_(tau));
+  return lna_of_tau_(tau);
 }
 
 }  // namespace plinger::cosmo

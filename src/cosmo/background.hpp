@@ -30,6 +30,22 @@ struct GrhoComponents {
   }
 };
 
+/// Raw density constants of a Background — everything needed to
+/// evaluate grho(a) analytically outside the class.  Exposed for fused
+/// per-run caches (ThermoCache) that must reproduce the background
+/// composition without re-deriving it from CosmoParams.
+struct DensityConstants {
+  double grhom = 0.0;         ///< 3 H0^2
+  double cdm0 = 0.0;          ///< 8 pi G rho_cdm(a=1)
+  double baryon0 = 0.0;
+  double photon0 = 0.0;
+  double nu_massless0 = 0.0;  ///< all massless species combined
+  double nu_rel_one0 = 0.0;   ///< one massless species
+  double lambda0 = 0.0;
+  double xi0 = 0.0;           ///< m c^2/(k_B T_nu0) per massive species
+  int n_massive_nu = 0;
+};
+
 /// The background cosmology.  Immutable and thread-safe after
 /// construction; one instance is shared by all k-mode workers.
 class Background {
@@ -59,6 +75,12 @@ class Background {
   /// Scale factor at conformal time tau.
   double a_of_tau(double tau) const;
 
+  /// ln a at conformal time tau — the raw table value a_of_tau()
+  /// exponentiates.  Callers whose downstream lookups are ln-a-keyed
+  /// (Recombination's *_lna accessors, ThermoCache) use this to skip the
+  /// exp/log round-trip.
+  double lna_of_tau(double tau) const;
+
   /// Conformal age tau(a=1) (Mpc).
   double conformal_age() const { return conformal_age_; }
 
@@ -79,7 +101,25 @@ class Background {
   /// unit for the massive-neutrino perturbation integrals.
   double grho_nu_rel_one(double a) const { return grho_nu_rel_one_ / (a * a); }
 
+  /// The raw density constants (for fused caches; see DensityConstants).
+  DensityConstants density_constants() const {
+    DensityConstants d;
+    d.grhom = grhom_;
+    d.cdm0 = grho_c0_;
+    d.baryon0 = grho_b0_;
+    d.photon0 = grho_g0_;
+    d.nu_massless0 = grho_nu_ml0_;
+    d.nu_rel_one0 = grho_nu_rel_one_;
+    d.lambda0 = grho_v0_;
+    d.xi0 = xi0_;
+    d.n_massive_nu = nu_ ? params_.n_massive_nu : 0;
+    return d;
+  }
+
  private:
+  /// gpres from already-computed components (one grho(a) per caller).
+  double gpres_of(const GrhoComponents& g, double a) const;
+
   CosmoParams params_;
   double grhom_ = 0.0;            ///< 3 H0^2
   double grho_c0_ = 0.0;          ///< 8 pi G rho_cdm(a=1): grhom*Omega_c

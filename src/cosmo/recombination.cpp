@@ -259,20 +259,20 @@ Recombination::Recombination(const Background& bg, const Options& opts)
   }
 }
 
-double Recombination::x_e(double a) const {
-  return std::exp(xe_of_lna_(std::log(a)));
+double Recombination::x_e_lna(double lna) const {
+  return std::exp(xe_of_lna_(lna));
 }
 
-double Recombination::t_baryon(double a) const {
-  return std::exp(tb_of_lna_(std::log(a)));
+double Recombination::t_baryon_lna(double lna) const {
+  return std::exp(tb_of_lna_(lna));
 }
 
-double Recombination::cs2_baryon(double a) const {
-  return std::exp(cs2_of_lna_(std::log(a)));
+double Recombination::cs2_baryon_lna(double lna) const {
+  return std::exp(cs2_of_lna_(lna));
 }
 
-double Recombination::opacity(double a) const {
-  return std::exp(opac_of_lna_(std::log(a)));
+double Recombination::opacity_lna(double lna) const {
+  return std::exp(opac_of_lna_(lna));
 }
 
 double Recombination::kappa(double tau) const {
@@ -280,13 +280,27 @@ double Recombination::kappa(double tau) const {
   return std::max(0.0, kappa_of_tau_(tau));
 }
 
+double Recombination::kappa(double tau, std::size_t& hint) const {
+  if (tau >= kappa_of_tau_.x_back()) return 0.0;
+  return std::max(0.0, kappa_of_tau_(tau, hint));
+}
+
 double Recombination::visibility(double tau) const {
-  const double a = bg_.a_of_tau(tau);
-  return opacity(a) * std::exp(-std::min(680.0, kappa(tau)));
+  return opacity_lna(bg_.lna_of_tau(tau)) *
+         std::exp(-std::min(680.0, kappa(tau)));
+}
+
+double Recombination::visibility(double tau, std::size_t& hint) const {
+  return opacity_lna(bg_.lna_of_tau(tau)) *
+         std::exp(-std::min(680.0, kappa(tau, hint)));
 }
 
 double Recombination::sound_horizon(double tau) const {
   return rs_of_tau_(tau);
+}
+
+double Recombination::sound_horizon(double tau, std::size_t& hint) const {
+  return rs_of_tau_(tau, hint);
 }
 
 }  // namespace plinger::cosmo

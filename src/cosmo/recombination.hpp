@@ -19,6 +19,9 @@
 /// served through splines; the class is immutable and thread-safe
 /// afterwards, shared by all k-mode workers.
 
+#include <cmath>
+#include <cstddef>
+
 #include "cosmo/background.hpp"
 #include "math/spline.hpp"
 
@@ -47,24 +50,41 @@ class Recombination {
   Recombination(const Background& bg, const Options& opts);
 
   /// Free-electron fraction x_e = n_e / n_H at scale factor a.
-  double x_e(double a) const;
+  double x_e(double a) const { return x_e_lna(std::log(a)); }
 
   /// Baryon (matter) temperature in K.
-  double t_baryon(double a) const;
+  double t_baryon(double a) const { return t_baryon_lna(std::log(a)); }
 
   /// Baryon sound speed squared in c = 1 units:
   /// c_s^2 = (k_B T_b / mu m_H c^2) (1 - (1/3) dln T_b/dln a).
-  double cs2_baryon(double a) const;
+  double cs2_baryon(double a) const { return cs2_baryon_lna(std::log(a)); }
 
   /// Thomson opacity dkappa/dtau = x_e n_H sigma_T a (Mpc^-1).
-  double opacity(double a) const;
+  double opacity(double a) const { return opacity_lna(std::log(a)); }
+
+  /// ln a-keyed variants of the four thermal accessors.  Every table is
+  /// ln a-gridded, so callers that already hold ln a (ThermoCache
+  /// construction, visibility via Background::lna_of_tau) skip one
+  /// std::log per quantity by calling these directly.
+  double x_e_lna(double lna) const;
+  double t_baryon_lna(double lna) const;
+  double cs2_baryon_lna(double lna) const;
+  double opacity_lna(double lna) const;
 
   /// Optical depth from conformal time tau to today.
   double kappa(double tau) const;
 
+  /// Hinted kappa for monotone tau sweeps (line-of-sight integrals): the
+  /// caller-held hint keeps the non-uniform tau-spline lookup O(1).
+  double kappa(double tau, std::size_t& hint) const;
+
   /// Visibility function g(tau) = (dkappa/dtau) e^{-kappa(tau)} (Mpc^-1);
   /// integrates to 1 over tau.
   double visibility(double tau) const;
+
+  /// Hinted visibility for monotone tau sweeps; `hint` caches the
+  /// kappa-spline interval between calls.
+  double visibility(double tau, std::size_t& hint) const;
 
   /// Conformal time of the visibility peak ("recombination", Mpc).
   double tau_star() const { return tau_star_; }
@@ -75,6 +95,9 @@ class Recombination {
   /// Photon-baryon sound horizon r_s(tau) = int_0^tau dtau'/sqrt(3(1+R_b)),
   /// R_b = 3 rho_b / (4 rho_gamma) (Mpc).
   double sound_horizon(double tau) const;
+
+  /// Hinted sound horizon for monotone tau sweeps.
+  double sound_horizon(double tau, std::size_t& hint) const;
 
   /// Helium-to-hydrogen nucleus ratio f_He = Y / (4(1-Y)).
   double f_helium() const { return f_he_; }

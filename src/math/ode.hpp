@@ -179,42 +179,77 @@ class EmbeddedRk {
     if (y_new_.size() != n) {
       y_new_.assign(n, 0.0);
       y_tmp_.assign(n, 0.0);
+      d_.assign(n, 0.0);
       for (auto& k : k_) k.assign(n, 0.0);
     }
   }
 
   /// One trial step of size h (signed).  Fills y_new_ with the high-order
   /// solution and returns the weighted RMS error of the embedded estimate.
+  ///
+  /// All stage combinations run stage-major (axpy form): each inner loop
+  /// streams one contiguous k_[m] row with a single scalar coefficient,
+  /// which vectorizes cleanly, and stages with a zero tableau entry are
+  /// skipped outright instead of multiplying by 0 per component.
   template <class F>
   double attempt_step(F&& f, double t, double h, const std::vector<double>& y,
                       OdeStats& stats) {
     constexpr int s = Tableau::stages;
     const std::size_t n = y.size();
+    const double* yp = y.data();
 
     f(t, std::span<const double>(y), std::span<double>(k_[0]));
     for (int i = 1; i < s; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        double acc = 0.0;
-        for (int m = 0; m < i; ++m) acc += Tableau::a[i][m] * k_[m][j];
-        y_tmp_[j] = y[j] + h * acc;
+      double* yt = y_tmp_.data();
+      {
+        const double a0 = h * Tableau::a[i][0];
+        const double* k0 = k_[0].data();
+        for (std::size_t j = 0; j < n; ++j) yt[j] = yp[j] + a0 * k0[j];
+      }
+      for (int m = 1; m < i; ++m) {
+        if (Tableau::a[i][m] == 0.0) continue;
+        const double am = h * Tableau::a[i][m];
+        const double* km = k_[m].data();
+        for (std::size_t j = 0; j < n; ++j) yt[j] += am * km[j];
       }
       f(t + Tableau::c[i] * h, std::span<const double>(y_tmp_),
         std::span<double>(k_[i]));
     }
     stats.n_rhs += s;
 
-    // High-order solution and embedded error, fused in one pass.
+    // High-order solution y_new = y + h sum b[m] k[m].
+    {
+      double* yn = y_new_.data();
+      const double b0 = h * Tableau::b[0];
+      const double* k0 = k_[0].data();
+      for (std::size_t j = 0; j < n; ++j) yn[j] = yp[j] + b0 * k0[j];
+      for (int m = 1; m < s; ++m) {
+        if (Tableau::b[m] == 0.0) continue;
+        const double bm = h * Tableau::b[m];
+        const double* km = k_[m].data();
+        for (std::size_t j = 0; j < n; ++j) yn[j] += bm * km[j];
+      }
+    }
+
+    // Embedded error vector d = h sum (b[m]-bhat[m]) k[m].
+    {
+      double* dp = d_.data();
+      const double d0 = h * (Tableau::b[0] - Tableau::bhat[0]);
+      const double* k0 = k_[0].data();
+      for (std::size_t j = 0; j < n; ++j) dp[j] = d0 * k0[j];
+      for (int m = 1; m < s; ++m) {
+        if (Tableau::b[m] - Tableau::bhat[m] == 0.0) continue;
+        const double dm = h * (Tableau::b[m] - Tableau::bhat[m]);
+        const double* km = k_[m].data();
+        for (std::size_t j = 0; j < n; ++j) dp[j] += dm * km[j];
+      }
+    }
+
     double err_sq = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
-      double sum_b = 0.0, sum_d = 0.0;
-      for (int m = 0; m < s; ++m) {
-        sum_b += Tableau::b[m] * k_[m][j];
-        sum_d += (Tableau::b[m] - Tableau::bhat[m]) * k_[m][j];
-      }
-      y_new_[j] = y[j] + h * sum_b;
       const double scale =
-          atol_ + rtol_ * std::max(std::abs(y[j]), std::abs(y_new_[j]));
-      const double e = h * sum_d / scale;
+          atol_ + rtol_ * std::max(std::abs(yp[j]), std::abs(y_new_[j]));
+      const double e = d_[j] / scale;
       err_sq += e * e;
     }
     return std::sqrt(err_sq / static_cast<double>(n));
@@ -234,7 +269,7 @@ class EmbeddedRk {
 
   double rtol_ = 1e-6;   ///< copied from OdeOptions at integrate() entry
   double atol_ = 1e-12;  ///< copied from OdeOptions at integrate() entry
-  std::vector<double> y_new_, y_tmp_;
+  std::vector<double> y_new_, y_tmp_, d_;
   std::vector<double> k_[Tableau::stages];
 };
 

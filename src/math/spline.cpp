@@ -38,9 +38,22 @@ CubicSpline::CubicSpline(std::span<const double> x, std::span<const double> y)
     cumint_[i + 1] = cumint_[i] + 0.5 * h * (y_[i] + y_[i + 1]) -
                      h * h * h / 24.0 * (y2_[i] + y2_[i + 1]);
   }
+
+  // Uniform-grid detection for the O(1) index fast path.  The tolerance
+  // admits linspace-style rounding jitter; interval() corrects any
+  // off-by-one from that jitter against the actual knots, so the fast
+  // path stays exactly equivalent to the binary search.
+  const double h = (x_.back() - x_.front()) / static_cast<double>(n - 1);
+  bool uniform = h > 0.0;
+  for (std::size_t i = 1; uniform && i + 1 < n; ++i) {
+    const double ideal = x_.front() + h * static_cast<double>(i);
+    if (std::abs(x_[i] - ideal) > 1e-6 * h) uniform = false;
+  }
+  uniform_ = uniform;
+  inv_h_ = uniform_ ? 1.0 / h : 0.0;
 }
 
-std::size_t CubicSpline::interval(double t) const {
+std::size_t CubicSpline::interval_bisect(double t) const {
   // Binary search for i with x_[i] <= t < x_[i+1]; clamp to end intervals
   // so out-of-range t extrapolates from the boundary cubic.
   const auto it = std::upper_bound(x_.begin(), x_.end(), t);
@@ -50,14 +63,52 @@ std::size_t CubicSpline::interval(double t) const {
   return i - 1;
 }
 
-double CubicSpline::operator()(double t) const {
-  const std::size_t i = interval(t);
+std::size_t CubicSpline::interval(double t) const {
+  if (!uniform_) return interval_bisect(t);
+  const std::size_t n = x_.size();
+  const double u = (t - x_.front()) * inv_h_;
+  std::size_t i = 0;
+  if (u > 0.0) {
+    i = static_cast<std::size_t>(u);
+    if (i > n - 2) i = n - 2;
+  }
+  // One-knot fixup against the stored abscissae makes the arithmetic
+  // index agree with upper_bound bit-for-bit, including exact knot hits.
+  while (i + 2 < n && x_[i + 1] <= t) ++i;
+  while (i > 0 && x_[i] > t) --i;
+  return i;
+}
+
+std::size_t CubicSpline::interval_hinted(double t, std::size_t hint) const {
+  const std::size_t n = x_.size();
+  const std::size_t i = std::min(hint, n - 2);
+  if (x_[i] <= t) {
+    if (t < x_[i + 1] || i == n - 2) return i;  // hit (or top extrapolation)
+    if (t < x_[i + 2]) return i + 1;            // forward sweep: next interval
+  } else {
+    if (i == 0) return 0;                 // below the table: boundary cubic
+    if (x_[i - 1] <= t) return i - 1;     // backward sweep: previous interval
+  }
+  return interval(t);
+}
+
+double CubicSpline::eval_on(std::size_t i, double t) const {
   const double h = x_[i + 1] - x_[i];
   const double a = (x_[i + 1] - t) / h;
   const double b = (t - x_[i]) / h;
   return a * y_[i] + b * y_[i + 1] +
          ((a * a * a - a) * y2_[i] + (b * b * b - b) * y2_[i + 1]) *
              (h * h) / 6.0;
+}
+
+double CubicSpline::operator()(double t) const {
+  return eval_on(interval(t), t);
+}
+
+double CubicSpline::operator()(double t, std::size_t& hint) const {
+  const std::size_t i = interval_hinted(t, hint);
+  hint = i;
+  return eval_on(i, t);
 }
 
 double CubicSpline::derivative(double t) const {

@@ -13,8 +13,11 @@
 namespace plinger::math {
 
 /// Natural cubic spline through (x_i, y_i) with zero second derivative at
-/// both ends.  Construction is O(n) (tridiagonal solve); evaluation is
-/// O(log n) via binary search with a cached hot interval.
+/// both ends.  Construction is O(n) (tridiagonal solve).  Evaluation is
+/// O(1) on uniform grids (detected at construction: the hot path is one
+/// multiply + floor instead of a binary search), O(log n) via binary
+/// search otherwise; non-uniform callers that sweep monotonically can
+/// carry a caller-held interval hint to stay O(1) too.
 class CubicSpline {
  public:
   CubicSpline() = default;
@@ -26,6 +29,14 @@ class CubicSpline {
   /// Interpolated value at t.  t outside [x_front, x_back] is linearly
   /// extrapolated from the boundary cubic.
   double operator()(double t) const;
+
+  /// Hinted evaluation: identical result to operator()(t), but the
+  /// bracketing interval is first sought at `hint` and its neighbours
+  /// before falling back to the full lookup.  `hint` is updated to the
+  /// interval used, so monotone forward/backward sweeps cost O(1) per
+  /// call.  The hint is caller-held state: a shared-const spline stays
+  /// thread-safe as long as each thread carries its own hint.
+  double operator()(double t, std::size_t& hint) const;
 
   /// First derivative of the interpolant at t.
   double derivative(double t) const;
@@ -42,11 +53,31 @@ class CubicSpline {
   double x_front() const { return x_.front(); }
   double x_back() const { return x_.back(); }
 
- private:
+  /// True when the knots were detected as uniformly spaced (O(1) lookup).
+  bool uniform() const { return uniform_; }
+
+  /// Index i of the interval with x_[i] <= t < x_[i+1], clamped to the
+  /// boundary intervals for out-of-range t.  Uses the uniform O(1) path
+  /// when available; exposed (with interval_bisect) so tests can assert
+  /// the two lookups agree on every point class.
   std::size_t interval(double t) const;
+
+  /// The same interval by plain binary search, unconditionally.
+  std::size_t interval_bisect(double t) const;
+
+  /// Per-knot second derivatives (natural spline solution) — read-only
+  /// access for fused caches that repackage several splines into one
+  /// interleaved table.
+  std::span<const double> second_derivs() const { return y2_; }
+
+ private:
+  std::size_t interval_hinted(double t, std::size_t hint) const;
+  double eval_on(std::size_t i, double t) const;
 
   std::vector<double> x_, y_, y2_;  ///< knots and second derivatives
   std::vector<double> cumint_;      ///< integral from x_0 to each knot
+  bool uniform_ = false;            ///< uniform-spacing fast path enabled
+  double inv_h_ = 0.0;              ///< 1/spacing when uniform
 };
 
 /// Convenience: sample f at the given x points and spline the result.

@@ -9,6 +9,7 @@
 
 #include "common/timing.hpp"
 #include "cosmo/background.hpp"
+#include "cosmo/thermo_cache.hpp"
 #include "store/identity.hpp"
 #include "store/mode_result_store.hpp"
 
@@ -96,7 +97,10 @@ RunOutput run_linger_serial(const cosmo::Background& bg,
       bind_store(bg, cfg, schedule, setup, out, recorder.get());
   const KSchedule& issue = store.effective(schedule);
 
-  ModeEvolver evolver(bg, rec, cfg);
+  // One fused thermo/background cache per run (shared here only with
+  // the evolver, but built the same way the parallel drivers share it).
+  const auto cache = std::make_shared<const cosmo::ThermoCache>(bg, rec);
+  ModeEvolver evolver(bg, rec, cfg, cache);
   const double tau_end =
       setup.tau_end > 0.0 ? setup.tau_end : bg.conformal_age();
 
@@ -162,6 +166,10 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
+  // One fused thermo/background cache per run, shared read-only by every
+  // worker thread (immutable after construction, so no synchronization).
+  const auto cache = std::make_shared<const cosmo::ThermoCache>(bg, rec);
+
   {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(n_threads));
@@ -169,7 +177,7 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
       threads.emplace_back([&, t] {
         const int worker = t + 1;  // worker ids 1..n, as in PLINGER
         try {
-          ModeEvolver evolver(bg, rec, cfg);
+          ModeEvolver evolver(bg, rec, cfg, cache);
           for (;;) {
             if (store.stop_requested()) break;  // flush-then-stop hook
             const std::size_t i = cursor.fetch_add(1);
@@ -238,7 +246,9 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
       bind_store(bg, cfg, schedule, setup, out, recorder.get());
 
   // Worker threads (ranks 1..n).  Exceptions are captured and rethrown
-  // on the master thread after join.
+  // on the master thread after join.  All workers share one read-only
+  // thermo cache; the Appendix-A wire protocol is untouched by it.
+  const auto cache = std::make_shared<const cosmo::ThermoCache>(bg, rec);
   std::mutex error_mutex;
   std::exception_ptr first_error;
   std::vector<std::jthread> threads;
@@ -246,7 +256,7 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
   for (int rank = 1; rank <= n_workers; ++rank) {
     threads.emplace_back([&, rank] {
       try {
-        ModeEvolver evolver(bg, rec, cfg);
+        ModeEvolver evolver(bg, rec, cfg, cache);
         mp::PassContext ctx = mp::initpass(world, rank);
         run_worker(ctx, schedule, evolver, recorder.get());
         mp::endpass(ctx);

@@ -1,0 +1,124 @@
+// The uniform-grid O(1) interval fast path and the caller-held hint API
+// must be drop-in replacements for the binary search: same interval for
+// every input, including exact knot hits, boundaries, and extrapolation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "math/spline.hpp"
+
+namespace {
+
+using plinger::math::CubicSpline;
+using plinger::math::linspace;
+
+std::vector<double> sample_sin(const std::vector<double>& x) {
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::sin(x[i]);
+  return y;
+}
+
+/// Probe points that stress every interval-selection branch: exact knots,
+/// either side of each knot, interval interiors, and both extrapolation
+/// tails.
+std::vector<double> probes(const std::vector<double>& x) {
+  std::vector<double> t;
+  const double span = x.back() - x.front();
+  t.push_back(x.front() - 0.07 * span);  // below the table
+  t.push_back(x.front());
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double h = x[i + 1] - x[i];
+    t.push_back(x[i] + 1e-14 * span);
+    t.push_back(x[i] + 0.37 * h);
+    t.push_back(x[i + 1] - 1e-14 * span);
+    t.push_back(x[i + 1]);
+  }
+  t.push_back(x.back() + 0.07 * span);  // above the table
+  return t;
+}
+
+TEST(SplineFastPath, UniformGridDetected) {
+  const auto x = linspace(-2.0, 3.0, 257);
+  const CubicSpline s(x, sample_sin(x));
+  EXPECT_TRUE(s.uniform());
+
+  auto xj = x;
+  xj[100] += 0.2 * (x[1] - x[0]);  // break uniformity
+  const CubicSpline sj(xj, sample_sin(xj));
+  EXPECT_FALSE(sj.uniform());
+}
+
+TEST(SplineFastPath, UniformIntervalMatchesBisectEverywhere) {
+  // Also exercises linspace rounding jitter at non-pretty endpoints.
+  for (const auto& [a, b, n] :
+       {std::tuple{-2.0, 3.0, std::size_t{64}},
+        std::tuple{1e-3, 0.77, std::size_t{501}},
+        std::tuple{-17.3, -0.001, std::size_t{1024}}}) {
+    const auto x = linspace(a, b, n);
+    const CubicSpline s(x, sample_sin(x));
+    ASSERT_TRUE(s.uniform());
+    for (const double t : probes(x)) {
+      EXPECT_EQ(s.interval(t), s.interval_bisect(t)) << "t=" << t;
+    }
+  }
+}
+
+TEST(SplineFastPath, UniformValuesBitExactAgainstBisectEval) {
+  const auto x = linspace(0.0, 10.0, 200);
+  const CubicSpline s(x, sample_sin(x));
+  // interval() == interval_bisect() (previous test) implies the evaluated
+  // cubic is the same polynomial; check the composed value anyway.
+  for (const double t : probes(x)) {
+    std::size_t hint = 0;
+    EXPECT_EQ(s(t), s(t, hint)) << "t=" << t;
+  }
+}
+
+TEST(SplineFastPath, HintedLookupForwardSweep) {
+  // Non-uniform grid: the hint is the only O(1) path here.
+  std::vector<double> x;
+  for (int i = 0; i <= 300; ++i) x.push_back(std::pow(1.02, i));
+  const CubicSpline s(x, sample_sin(x));
+  ASSERT_FALSE(s.uniform());
+
+  std::size_t hint = 0;
+  const double lo = x.front() - 1.0, hi = x.back() + 10.0;
+  for (int i = 0; i <= 5000; ++i) {
+    const double t = lo + (hi - lo) * i / 5000.0;
+    EXPECT_EQ(s(t), s(t, hint)) << "t=" << t;
+    EXPECT_EQ(hint, s.interval_bisect(t));
+  }
+}
+
+TEST(SplineFastPath, HintedLookupBackwardSweepAndJumps) {
+  std::vector<double> x;
+  for (int i = 0; i <= 300; ++i) x.push_back(std::pow(1.02, i));
+  const CubicSpline s(x, sample_sin(x));
+
+  std::size_t hint = x.size();  // deliberately out of range: must clamp
+  const double lo = x.front() - 1.0, hi = x.back() + 10.0;
+  for (int i = 5000; i >= 0; --i) {
+    const double t = lo + (hi - lo) * i / 5000.0;
+    EXPECT_EQ(s(t), s(t, hint)) << "t=" << t;
+  }
+  // Arbitrary jumps: a stale hint must never change the result.
+  std::size_t h2 = 0;
+  for (const double t : {x[250], x[3] + 0.5, x.back() + 2.0, x[100],
+                         x.front() - 0.5, x[299]}) {
+    EXPECT_EQ(s(t), s(t, h2)) << "t=" << t;
+  }
+}
+
+TEST(SplineFastPath, DerivativeAndIntegralUseSameIntervals) {
+  const auto x = linspace(0.0, 3.14159, 100);
+  const CubicSpline s(x, sample_sin(x));
+  // Spot physical sanity on the uniform path (d/dx sin = cos, integral
+  // of sin from 0 to pi ~ 2).
+  EXPECT_NEAR(s.derivative(1.0), std::cos(1.0), 1e-5);
+  EXPECT_NEAR(s.integral_from_start(3.14159), 2.0, 1e-5);
+}
+
+}  // namespace

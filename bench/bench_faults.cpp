@@ -1,0 +1,139 @@
+// Fault-tolerance overhead bench: the same small Boltzmann sweep run
+// three ways on the message-passing driver — fault-free, with a worker
+// killed mid-run, and with a dropped result recovered by stall timeout —
+// emitted as BENCH_faults.json for machine diffing.
+//
+// Two questions it answers:
+//  * what does the recovery machinery cost when nothing fails (the
+//    "no-fault" row is the tax on healthy runs — deadlines are armed
+//    only when a timeout is configured, so it should be ~zero), and
+//  * what does one failure cost end-to-end (lost work recomputed by a
+//    survivor, plus detection latency for the timeout path).
+//
+// Usage: bench_faults [--smoke] [--out FILE]
+//   --smoke   reduced mode count / horizon; writes BENCH_faults.json to
+//             the cwd (ctest wiring, `check-fault` target)
+//   --out     explicit output path (overrides both defaults)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "io/bench_json.hpp"
+#include "math/spline.hpp"
+#include "mp/fault_world.hpp"
+#include "plinger/driver.hpp"
+
+namespace {
+
+using namespace plinger;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_faults [--smoke] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const auto params = cosmo::CosmoParams::standard_cdm();
+  const cosmo::Background bg(params);
+  const cosmo::Recombination rec(bg);
+  boltzmann::PerturbationConfig cfg;
+  cfg.lmax_photon = 24;
+  cfg.lmax_polarization = 12;
+  cfg.lmax_neutrino = 12;
+  cfg.rtol = 1e-5;
+
+  const std::size_t n_modes = smoke ? 6 : 24;
+  const int n_workers = 4;
+  const parallel::KSchedule sched(
+      math::linspace(0.002, smoke ? 0.02 : 0.1, n_modes),
+      parallel::IssueOrder::largest_first);
+  parallel::RunSetup base;
+  base.tau_end = smoke ? 600.0 : 2000.0;
+  base.lmax_cap = 24;
+  base.n_k = static_cast<double>(n_modes);
+
+  io::BenchReport report("faults");
+  std::printf("== fault-tolerance bench: %zu modes, %d workers ==\n",
+              n_modes, n_workers);
+  std::printf("%-14s %10s %6s %6s %8s\n", "scenario", "wall[s]", "lost",
+              "reass", "overhead");
+
+  struct Scenario {
+    const char* name;
+    parallel::RunSetup setup;
+  };
+  Scenario scenarios[3];
+  scenarios[0] = {"no-fault", base};
+
+  {
+    parallel::RunSetup s = base;
+    mp::FaultAction a;
+    a.kind = mp::FaultKind::kill_before_send;
+    a.rank = 1;
+    a.tag = 4;  // dies mid-mode: its work is lost and recomputed
+    s.inject.actions.push_back(a);
+    scenarios[1] = {"kill-worker", s};
+  }
+  {
+    parallel::RunSetup s = base;
+    mp::FaultAction a;
+    a.kind = mp::FaultKind::drop_message;
+    a.rank = 1;
+    a.tag = 4;  // result vanishes: only the deadline can recover it
+    s.inject.actions.push_back(a);
+    s.fault.timeout_seconds = smoke ? 0.2 : 1.0;
+    s.fault.timeout_floor_seconds = 0.05;
+    scenarios[2] = {"drop-timeout", s};
+  }
+
+  double wall_clean = 0.0;
+  for (const Scenario& sc : scenarios) {
+    const double t0 = now_s();
+    const auto out = parallel::run_plinger_threads(bg, rec, cfg, sched,
+                                                   sc.setup, n_workers);
+    const double wall = now_s() - t0;
+    if (std::strcmp(sc.name, "no-fault") == 0) wall_clean = wall;
+    const double overhead = wall_clean > 0.0 ? wall / wall_clean : 1.0;
+    report.add(sc.name)
+        .label("scenario", sc.name)
+        .metric("wall_seconds", wall)
+        .metric("n_modes_computed", static_cast<double>(out.n_modes_computed))
+        .metric("n_workers_lost", static_cast<double>(out.n_workers_lost))
+        .metric("n_modes_reassigned",
+                static_cast<double>(out.n_modes_reassigned))
+        .metric("completed_degraded", out.completed_degraded ? 1.0 : 0.0)
+        .metric("overhead_vs_clean", overhead);
+    std::printf("%-14s %10.3f %6zu %6zu %7.2fx\n", sc.name, wall,
+                out.n_workers_lost, out.n_modes_reassigned, overhead);
+    if (out.results.size() != n_modes) {
+      std::fprintf(stderr, "%s: expected %zu modes, got %zu\n", sc.name,
+                   n_modes, out.results.size());
+      return 1;
+    }
+  }
+
+  // Smoke runs land in the cwd so ctest never dirties the repo root.
+  const std::string written =
+      report.write_file(out_path.empty() && smoke ? "BENCH_faults.json"
+                                                  : out_path);
+  std::printf("wrote %s\n", written.c_str());
+  return 0;
+}

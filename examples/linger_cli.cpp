@@ -14,6 +14,7 @@
 //   workers (2) rtol (1e-5) z_reion (0) ic (adiabatic|isocurvature)
 //   trace (0) trace_json (linger_trace.json)
 //   store () resume (1) flush_interval (1)
+//   fault_timeout (0) max_retries (2)
 //
 // With trace=1 the run records per-mode/per-worker spans and protocol
 // messages; the CLI then prints the Figure-1 style per-worker busy/idle
@@ -23,6 +24,13 @@
 // crash-safe journal; rerunning the same parameter file resumes from it,
 // computing only the missing modes (resume=0 recomputes the full grid
 // instead, appending only modes missing from the journal).
+//
+// With fault_timeout=SECONDS the master arms a per-mode deadline
+// (scaled by each mode's flop estimate) and reassigns modes whose
+// worker stalls or dies; max_retries bounds the integration-failure
+// requeues.  A run that lost workers or gave up on modes prints a
+// DEGRADED summary line but still writes every result it has — see
+// docs/operations.md for the recovery runbook.
 
 #include <cstdio>
 #include <cmath>
@@ -122,6 +130,9 @@ int main(int argc, char** argv) {
   setup.store.resume = get(kv, "resume", 1.0) != 0.0;
   setup.store.flush_interval =
       static_cast<std::size_t>(get(kv, "flush_interval", 1.0));
+  setup.fault.timeout_seconds = get(kv, "fault_timeout", 0.0);
+  setup.fault.max_retries = static_cast<int>(get(
+      kv, "max_retries", static_cast<double>(setup.fault.max_retries)));
   const int workers = static_cast<int>(get(kv, "workers", 2));
 
   std::printf("running %zu modes on %d workers...\n", schedule.size(),
@@ -172,6 +183,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
     }
+  }
+  if (out.completed_degraded) {
+    // The run survived faults but is not pristine: say exactly what was
+    // lost so the operator can decide between rerunning (with store=,
+    // only the missing modes are recomputed) and accepting the output.
+    std::printf("DEGRADED: %zu workers lost, %zu modes reassigned, "
+                "%zu quarantined, %zu failed (%zu/%zu modes delivered)\n",
+                out.n_workers_lost, out.n_modes_reassigned,
+                out.master.quarantined_ik.size(),
+                out.master.failed_ik.size(), out.results.size(),
+                schedule.size());
   }
   if (!out.master.failed_ik.empty()) {
     std::printf("WARNING: %zu wavenumbers failed integration\n",

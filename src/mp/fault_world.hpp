@@ -1,0 +1,159 @@
+#pragma once
+
+/// Fault injection for the in-process transport.
+///
+/// The paper's master/worker protocol (Appendix A) assumed workers never
+/// die: on the SP2/T3D a lost worker meant a lost run.  To grow the
+/// recovery machinery in `run_master` we need a transport that can fail
+/// on demand, deterministically.  FaultInjectingWorld decorates
+/// InProcWorld through its virtual send/probe/recv seams and can, per a
+/// declarative plan:
+///
+///  * kill a rank — the simulated process dies: every later transport
+///    call by that rank throws RankKilled (the driver treats it as
+///    simulated death, not an error), sends *to* it vanish silently, and
+///    a synthetic tag-7 death notice is delivered to the master (the
+///    analogue of PVM's pvm_notify host-failure message),
+///  * drop a message — it is never delivered (a flaky link),
+///  * duplicate a message — it is delivered twice,
+///  * delay a message — it is delivered after a wallclock pause (a
+///    stalled link or a worker stuck in a long GC/page-fault).
+///
+/// Actions trigger on sends matched by (rank, tag, occurrence) and
+/// optionally by the wavenumber index `ik` carried in the payload of
+/// tags 3/4/5/7, so a test can say "drop worker 2's result for ik 5".
+/// Dropping or duplicating a tag-4 result header automatically extends
+/// to the paired tag-5 payload — the two records travel together in the
+/// protocol, and splitting them would wedge the master in a receive the
+/// plan never intended.
+///
+/// Everything is deterministic given the plan; FaultPlan::seeded_kill
+/// derives a reproducible single-kill plan from an integer seed for
+/// randomized sweeps.
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mp/inproc.hpp"
+
+namespace plinger::mp {
+
+/// Thrown by transport calls of a rank whose simulated process was
+/// killed.  Protocol loops do not catch it: it unwinds the worker like
+/// the process death it models, and the driver recognizes it as a
+/// simulated fault rather than a real error.
+class RankKilled : public Error {
+ public:
+  explicit RankKilled(const std::string& what) : Error(what) {}
+};
+
+/// What an action does to the send it matches.
+enum class FaultKind {
+  kill_before_send,  ///< rank dies; the matched message is never sent
+  kill_after_send,   ///< the message is delivered, then the rank dies
+  drop_message,      ///< message vanishes in transit
+  duplicate_message, ///< message is delivered twice
+  delay_message,     ///< message is delivered after delay_seconds
+};
+
+/// One planned fault, triggered by a matching send.
+struct FaultAction {
+  FaultKind kind = FaultKind::drop_message;
+  int rank = 1;        ///< sender whose send triggers the action
+  int tag = kAnyTag;   ///< tag filter (kAnyTag matches every tag)
+  int occurrence = 1;  ///< 1-based nth matching send by that rank
+  /// Wavenumber filter: match only messages whose payload carries this
+  /// ik (tags 3/4/5/7 carry ik in slot 0).  0 matches any ik.
+  std::size_t ik = 0;
+  double delay_seconds = 0.0;  ///< for delay_message
+};
+
+/// A deterministic fault schedule, plus the death-notice convention.
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  /// Deliver a synthetic death notice to rank 0 when a rank is killed:
+  /// tag `death_notice_tag`, payload {0.0, 1.0} = (ik unknown,
+  /// code worker-lost) — see docs/protocol.md.  The master uses it to
+  /// reassign the dead worker's outstanding mode without waiting for a
+  /// stall timeout.
+  bool notify_on_kill = true;
+  int death_notice_tag = 7;
+
+  bool empty() const { return actions.empty(); }
+
+  /// Reproducible one-kill plan: from `seed`, pick a worker rank in
+  /// [1, n_workers] and a protocol phase (before its first request,
+  /// before its first result, after its first result).
+  static FaultPlan seeded_kill(unsigned seed, int n_workers);
+};
+
+/// One injected fault, as it actually happened (for assertions and the
+/// run trace).
+struct InjectedFault {
+  FaultKind kind = FaultKind::drop_message;
+  int rank = 0;
+  int tag = 0;
+  std::size_t ik = 0;  ///< payload ik when the tag carries one, else 0
+};
+
+/// The decorator.  Construct with the same arguments as InProcWorld plus
+/// the plan; hand it to the protocol/driver layer as a plain
+/// InProcWorld&.
+class FaultInjectingWorld final : public InProcWorld {
+ public:
+  FaultInjectingWorld(int nprocs, FaultPlan plan,
+                      Library lib = Library::mpisim);
+  ~FaultInjectingWorld() override;  ///< joins delayed-delivery threads
+
+  void send(int from, int to, int tag,
+            std::span<const double> data) override;
+  ProbeResult probe(int rank, int source, int tag) const override;
+  std::optional<ProbeResult> probe_for(int rank, int source, int tag,
+                                       double timeout_seconds) const override;
+  std::size_t recv(int rank, int source, int tag,
+                   std::span<double> out) override;
+
+  /// Has this rank's simulated process been killed?
+  bool is_killed(int rank) const;
+
+  /// Every fault injected so far, in injection order.
+  std::vector<InjectedFault> injected() const;
+
+  /// How many plan actions have fired (consumed their trigger).  Test
+  /// harnesses rendezvous on n_fired() == plan size so that healthy
+  /// workers cannot drain the schedule before every planned fault has
+  /// had its chance to happen.
+  std::size_t n_fired() const;
+
+ private:
+  void check_alive(int rank) const;  ///< throws RankKilled if dead
+  /// Kill `rank`: mark dead, emit the death notice, log, throw.
+  [[noreturn]] void kill(int rank, int tag, std::size_t ik,
+                         FaultKind kind);
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;  ///< guards everything below
+  std::vector<char> killed_;
+  std::vector<char> fired_;               ///< one flag per plan action
+  std::vector<std::uint64_t> sends_seen_;  ///< per (rank, action) match count
+  /// Per-rank action to replay on the next tag-5 send (pair coupling
+  /// with a dropped/duplicated/delayed tag-4 header).
+  std::vector<FaultKind> pending_payload_;
+  std::vector<char> pending_payload_set_;
+  /// A delayed tag-4 header held back until its tag-5 payload arrives;
+  /// the pair is then delivered in order by one helper thread.
+  struct HeldHeader {
+    int to = 0;
+    double delay_seconds = 0.0;
+    std::vector<double> data;
+  };
+  std::vector<HeldHeader> held_header_;
+  std::vector<char> held_header_set_;
+  std::vector<InjectedFault> log_;
+  std::vector<std::jthread> delayed_;  ///< in-flight delayed deliveries
+};
+
+}  // namespace plinger::mp

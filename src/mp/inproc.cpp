@@ -1,6 +1,7 @@
 #include "mp/inproc.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace plinger::mp {
 
@@ -41,7 +42,7 @@ void InProcWorld::send(int from, int to, int tag,
     stats_.max_message_bytes = std::max(stats_.max_message_bytes,
                                         static_cast<std::uint64_t>(bytes));
     const std::size_t slot =
-        (tag >= 1 && tag <= 6) ? static_cast<std::size_t>(tag) : 0;
+        (tag >= 1 && tag <= 7) ? static_cast<std::size_t>(tag) : 0;
     ++stats_.per_tag[slot];
   }
   if (observer_) observer_(from, to, tag, bytes);
@@ -70,6 +71,22 @@ ProbeResult InProcWorld::probe(int rank, int source, int tag) const {
     match = find_match(box, source, tag);
     return match != nullptr;
   });
+  return ProbeResult{match->tag, match->source, match->payload.size()};
+}
+
+std::optional<ProbeResult> InProcWorld::probe_for(
+    int rank, int source, int tag, double timeout_seconds) const {
+  check_rank(rank);
+  if (timeout_seconds < 0.0) timeout_seconds = 0.0;
+  const Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const Message* match = nullptr;
+  const bool found = box.cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds), [&] {
+        match = find_match(box, source, tag);
+        return match != nullptr;
+      });
+  if (!found) return std::nullopt;
   return ProbeResult{match->tag, match->source, match->payload.size()};
 }
 

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 
 #include "common/error.hpp"
@@ -41,25 +42,42 @@ class ProtocolError : public Error {
 /// A set of nprocs ranks with mailboxes.  All methods are thread-safe;
 /// typically rank 0 is driven by the master thread and ranks 1..n-1 by
 /// worker threads.
+///
+/// send/probe/probe_for/recv are virtual so a decorator can interpose on
+/// the transport without the protocol layer knowing: FaultInjectingWorld
+/// (fault_world.hpp) kills ranks, delays, drops, and duplicates messages
+/// through exactly these seams.
 class InProcWorld {
  public:
   explicit InProcWorld(int nprocs, Library lib = Library::mpisim);
+  virtual ~InProcWorld() = default;
+
+  InProcWorld(const InProcWorld&) = delete;
+  InProcWorld& operator=(const InProcWorld&) = delete;
 
   int size() const { return static_cast<int>(boxes_.size()); }
   Library library() const { return lib_; }
 
   /// Copy data into `to`'s mailbox with the given tag.
-  void send(int from, int to, int tag, std::span<const double> data);
+  virtual void send(int from, int to, int tag, std::span<const double> data);
 
   /// Block until a message matching (source, tag) — either may be a
   /// wildcard — is available for `rank`; report it without consuming.
-  ProbeResult probe(int rank, int source = kAnySource,
-                    int tag = kAnyTag) const;
+  virtual ProbeResult probe(int rank, int source = kAnySource,
+                            int tag = kAnyTag) const;
+
+  /// Like probe, but give up after timeout_seconds.  Returns nullopt on
+  /// timeout.  This is the master's stall-detection primitive: a bounded
+  /// wait for the next protocol message so a dead or wedged worker
+  /// cannot hang the join forever.
+  virtual std::optional<ProbeResult> probe_for(int rank, int source, int tag,
+                                               double timeout_seconds) const;
 
   /// Block until a matching message is available, then copy at most
   /// out.size() doubles into out and consume it.  Returns the payload
   /// length (the full length even if truncated, as MPI does).
-  std::size_t recv(int rank, int source, int tag, std::span<double> out);
+  virtual std::size_t recv(int rank, int source, int tag,
+                           std::span<double> out);
 
   /// Transport counters accumulated so far.
   TransportStats stats() const;

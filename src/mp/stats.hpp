@@ -15,8 +15,10 @@ struct TransportStats {
   std::uint64_t n_messages = 0;
   std::uint64_t n_bytes = 0;
   std::uint64_t max_message_bytes = 0;
-  /// Message counts per tag 1..6 (index 0 collects everything else).
-  std::array<std::uint64_t, 7> per_tag{};
+  /// Message counts per tag 1..7 (index 0 collects everything else).
+  /// Tag 7 is the failure-report/death-notice path; lumping it into
+  /// slot 0 would hide exactly the traffic fault diagnostics need.
+  std::array<std::uint64_t, 8> per_tag{};
 };
 
 }  // namespace plinger::mp

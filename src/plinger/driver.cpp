@@ -1,5 +1,6 @@
 #include "plinger/driver.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -229,7 +230,17 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
   out.n_workers = n_workers;
   const double w0 = wallclock_seconds();
 
-  mp::InProcWorld world(n_workers + 1, library);
+  // The plain world, or the fault-injecting decorator when the setup
+  // carries an injection plan (tests and fault drills).  The protocol
+  // layer sees only the InProcWorld interface either way.
+  std::unique_ptr<mp::InProcWorld> world_ptr;
+  if (setup.inject.empty()) {
+    world_ptr = std::make_unique<mp::InProcWorld>(n_workers + 1, library);
+  } else {
+    world_ptr = std::make_unique<mp::FaultInjectingWorld>(
+        n_workers + 1, setup.inject, library);
+  }
+  mp::InProcWorld& world = *world_ptr;
   std::unique_ptr<TraceRecorder> recorder;
   if (setup.trace.enabled) {
     recorder = std::make_unique<TraceRecorder>(setup.trace);
@@ -260,6 +271,9 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
         mp::PassContext ctx = mp::initpass(world, rank);
         run_worker(ctx, schedule, evolver, recorder.get());
         mp::endpass(ctx);
+      } catch (const mp::RankKilled&) {
+        // Simulated process death (fault injection): the master's
+        // recovery path owns the fallout; the thread just ends.
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -287,11 +301,41 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
           out.total_flops += r.flops;
           out.results.emplace(ik, r);
         },
-        /*max_retries=*/2, recorder.get(), stop_early);
+        setup.fault.max_retries, recorder.get(), stop_early);
     mp::endpass(ctx);
   }
   threads.clear();  // join
   if (first_error) std::rethrow_exception(first_error);
+
+  // A worker that dies right after delivering the run's final result
+  // can leave its tag-7 death notice unread: the master exits the
+  // moment the schedule completes, and that exit is indistinguishable
+  // from a clean shutdown.  After the join every notice is guaranteed
+  // queued, so a non-blocking sweep settles the accounting.
+  while (const auto pr =
+             world.probe_for(0, mp::kAnySource, mp::kAnyTag, 0.0)) {
+    std::vector<double> buf(pr->length, 0.0);
+    world.recv(0, pr->source, pr->tag, buf);
+    if (pr->tag != kTagError || buf.size() < 2 ||
+        buf[1] != kFailureCodeWorkerLost) {
+      continue;  // a stale non-failure message; drop it
+    }
+    auto& lost = out.master.lost_workers;
+    if (std::find(lost.begin(), lost.end(), pr->source) == lost.end()) {
+      lost.push_back(pr->source);
+      if (recorder) {
+        recorder->record_fault(FaultEvent::Kind::worker_lost, pr->source,
+                               0);
+      }
+    }
+  }
+
+  out.n_modes_reassigned = out.master.n_reassigned;
+  out.n_workers_lost = out.master.lost_workers.size();
+  out.completed_degraded = out.n_workers_lost > 0 ||
+                           !out.master.quarantined_ik.empty() ||
+                           !out.master.failed_ik.empty() ||
+                           out.master.all_workers_lost;
 
   out.wallclock_seconds = wallclock_seconds() - w0;
   out.transport = world.stats();

@@ -40,6 +40,15 @@ struct RunOutput {
   /// some modes failed).  Both zero when RunSetup::store is off.
   std::size_t n_modes_loaded = 0;
   std::size_t n_modes_computed = 0;
+  /// Degraded-completion accounting (mirrors MasterStats): modes that
+  /// re-entered the schedule after a worker death or stall, workers
+  /// declared lost, and whether the run finished on a reduced pool or
+  /// gave up work (lost workers, quarantined or failed modes, or an
+  /// all-workers-lost abort).  Results that did complete are still
+  /// bitwise identical to a fault-free run.
+  std::size_t n_modes_reassigned = 0;
+  std::size_t n_workers_lost = 0;
+  bool completed_degraded = false;
   /// Per-mode/per-worker event trace; null unless RunSetup::trace
   /// enabled it.  Feed to make_run_report() / write_chrome_trace().
   std::shared_ptr<const Trace> trace;

@@ -2,27 +2,40 @@
 
 /// The PLINGER master/worker protocol (paper Appendix A).
 ///
-/// Tags:
+/// Tags (see docs/protocol.md for payload layouts and sequence
+/// diagrams):
 ///   1 - first message from master to workers (broadcast of run setup)
 ///   2 - from worker: asking for a wavenumber
 ///   3 - from master: giving worker a wavenumber to work on
 ///   4 - from worker: first set of data and lmax (21-double header)
 ///   5 - from worker: moment payload (length depends on lmax)
 ///   6 - from master: telling worker to stop
+///   7 - failure path (our extension): an integration-failure report
+///       from a live worker, or a worker-lost death notice
 ///
 /// The master and worker loops below are direct transliterations of the
-/// paper's parentsub/kidsub pseudo-code onto the wrapper API, with one
-/// robustness addition: the master keeps serving tag-2 requests until
-/// every worker has been sent its stop message, so no worker can be left
-/// blocked when the run ends (the Fortran original exits as soon as the
-/// last result arrives, which relies on process teardown to reap idle
-/// workers).
+/// paper's parentsub/kidsub pseudo-code onto the wrapper API, with two
+/// robustness additions the Fortran original lacked:
+///
+///  * the master keeps serving tag-2 requests until every worker has
+///    been sent its stop message, so no worker can be left blocked when
+///    the run ends (the original exits as soon as the last result
+///    arrives, relying on process teardown to reap idle workers);
+///  * the master survives worker death.  A dead or wedged worker is
+///    detected either by a tag-7 death notice (the PVM pvm_notify
+///    analogue, injected by the transport) or by a per-worker deadline
+///    scaled to the mode's flop estimate; its outstanding mode re-enters
+///    the residual schedule largest-k-first, bounded by a reassignment
+///    cap and a quarantine list for poison modes.  The run then
+///    completes degraded on the surviving workers with bitwise-identical
+///    results.
 
 #include <array>
 #include <functional>
 #include <span>
 
 #include "boltzmann/mode_evolution.hpp"
+#include "mp/fault_world.hpp"
 #include "mp/wrappers.hpp"
 #include "plinger/schedule.hpp"
 #include "plinger/trace.hpp"
@@ -39,7 +52,28 @@ enum Tag : int {
   kTagHeader = 4,
   kTagPayload = 5,
   kTagStop = 6,
-  kTagError = 7,  ///< from worker: integration of ik failed; requeue it
+  kTagError = 7,  ///< failure path: {ik, code}; see codes below
+};
+
+/// Tag-7 failure codes (payload slot 1).  A one-double tag-7 payload is
+/// the legacy integration-failure form and is read as code 0.
+inline constexpr double kFailureCodeRetry = 0.0;       ///< requeue ik
+inline constexpr double kFailureCodeWorkerLost = 1.0;  ///< sender died
+
+/// Master-side fault handling knobs.  Host-side only — never broadcast.
+struct FaultConfig {
+  /// Per-mode stall deadline: a worker that holds an assignment longer
+  /// than timeout_floor_seconds + timeout_seconds * (flop estimate /
+  /// largest flop estimate) is declared lost and its mode reassigned.
+  /// 0 disables stall detection (death notices still work).
+  double timeout_seconds = 0.0;
+  double timeout_floor_seconds = 0.05;
+  /// Integration-failure retries per mode (tag-7 code 0) before the
+  /// mode lands in MasterStats::failed_ik.
+  int max_retries = 2;
+  /// Reassignments per mode (worker death / stall) before the mode is
+  /// quarantined as poison rather than handed to yet another victim.
+  int max_reassignments = 3;
 };
 
 /// Run setup broadcast with tag 1 — "a few quantities ... such as the
@@ -60,6 +94,15 @@ struct RunSetup {
   /// never broadcast — the master checkpoints, workers are oblivious.
   store::StoreOptions store;
 
+  /// Host-side fault handling (stall deadlines, retry/reassignment
+  /// bounds); never broadcast.
+  FaultConfig fault;
+
+  /// Host-side fault *injection* plan for tests and drills: when
+  /// non-empty, run_plinger_threads builds a mp::FaultInjectingWorld
+  /// instead of a plain InProcWorld.  Never broadcast.
+  mp::FaultPlan inject;
+
   std::array<double, 5> to_buffer() const;
   static RunSetup from_buffer(std::span<const double> b);
 };
@@ -74,6 +117,12 @@ struct MasterStats {
   std::vector<std::size_t> failed_ik;  ///< exhausted their retries
   std::size_t n_unissued = 0;  ///< abandoned by an early stop
   bool stopped_early = false;  ///< the stop predicate fired
+
+  // Degraded-completion accounting (worker death / stall recovery).
+  std::size_t n_reassigned = 0;  ///< modes that re-entered the schedule
+  std::vector<int> lost_workers;  ///< ranks declared dead, in order
+  std::vector<std::size_t> quarantined_ik;  ///< gave up: poison modes
+  bool all_workers_lost = false;  ///< run abandoned with work pending
 };
 
 /// Asked after every settled result; returning true makes the master
@@ -84,8 +133,14 @@ using StopPredicate = std::function<bool()>;
 
 /// The master loop ("parentsub"): broadcast setup, serve wavenumbers,
 /// collect results, stop every worker.  Returns when all of both has
-/// happened.  A wavenumber reported failed (tag 7) is requeued up to
-/// max_retries times, then recorded in MasterStats::failed_ik.
+/// happened.  A wavenumber reported failed (tag 7, code 0) is retried —
+/// after the rest of the schedule, as backoff — up to max_retries
+/// times, then recorded in MasterStats::failed_ik.  A worker declared
+/// dead (tag-7 death notice, or a missed per-mode deadline when
+/// setup.fault.timeout_seconds > 0) has its outstanding mode reassigned
+/// largest-k-first, bounded by setup.fault.max_reassignments; results
+/// are deduplicated, so a stalled-but-alive worker's late result and
+/// its replacement's cannot both reach the sink.
 /// `trace` (optional) records tag-3 assignment events; null disables.
 /// `stop_early` (optional) ends the run before the schedule is
 /// exhausted; unissued wavenumbers are counted in MasterStats.

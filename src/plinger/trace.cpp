@@ -49,6 +49,13 @@ void TraceRecorder::record_message(int tag, int source, int dest,
   trace_.messages.push_back(MessageEvent{tag, source, dest, bytes, t});
 }
 
+void TraceRecorder::record_fault(FaultEvent::Kind kind, int worker,
+                                 std::size_t ik, double t) {
+  if (t < 0.0) t = now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trace_.faults.push_back(FaultEvent{kind, worker, ik, t});
+}
+
 Trace TraceRecorder::finish(int n_workers, double t_end) {
   const std::lock_guard<std::mutex> lock(mutex_);
   trace_.n_workers = n_workers;
@@ -138,6 +145,20 @@ RunReport make_run_report(const Trace& trace, double bytes_per_second,
         static_cast<double>(rep.n_bytes) / bytes_per_second;
     rep.message_overhead_ratio = transit / rep.total_cpu_seconds;
   }
+  for (const FaultEvent& f : trace.faults) {
+    switch (f.kind) {
+      case FaultEvent::Kind::worker_lost:
+      case FaultEvent::Kind::stall_timeout:
+        ++rep.n_workers_lost;
+        break;
+      case FaultEvent::Kind::reassign:
+        ++rep.n_reassigned;
+        break;
+      case FaultEvent::Kind::quarantine:
+        ++rep.n_quarantined;
+        break;
+    }
+  }
   return rep;
 }
 
@@ -170,6 +191,11 @@ void write_ascii_report(std::ostream& os, const RunReport& rep) {
     os << rep.per_tag[tag] << (tag + 1 < rep.per_tag.size() ? " " : "");
   }
   os << "\n# msg overhead / cpu   " << rep.message_overhead_ratio << "\n";
+  if (rep.n_workers_lost || rep.n_reassigned || rep.n_quarantined) {
+    os << "# faults               " << rep.n_workers_lost
+       << " workers lost, " << rep.n_reassigned << " modes reassigned, "
+       << rep.n_quarantined << " quarantined\n";
+  }
 }
 
 namespace {
@@ -210,6 +236,20 @@ void write_chrome_trace(std::ostream& os, const Trace& trace) {
        << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << m.dest
        << ",\"ts\":" << usec(m.t) << ",\"args\":{\"source\":" << m.source
        << ",\"dest\":" << m.dest << ",\"bytes\":" << m.bytes << "}}";
+  }
+  for (const FaultEvent& f : trace.faults) {
+    const char* name = "fault";
+    switch (f.kind) {
+      case FaultEvent::Kind::worker_lost: name = "worker lost"; break;
+      case FaultEvent::Kind::stall_timeout: name = "stall timeout"; break;
+      case FaultEvent::Kind::reassign: name = "reassign"; break;
+      case FaultEvent::Kind::quarantine: name = "quarantine"; break;
+    }
+    sep();
+    os << "{\"name\":\"" << name
+       << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":"
+       << usec(f.t) << ",\"args\":{\"worker\":" << f.worker
+       << ",\"ik\":" << f.ik << "}}";
   }
   // Human-readable thread names: master = rank 0, workers above.
   sep();

@@ -69,6 +69,18 @@ struct MessageEvent {
   double t = 0.0;
 };
 
+/// One fault-tolerance event observed by the master (docs/protocol.md):
+/// a worker declared dead (tag-7 death notice), a stall timeout firing,
+/// a mode re-entering the schedule, or a mode quarantined after too many
+/// reassignments.
+struct FaultEvent {
+  enum class Kind { worker_lost, stall_timeout, reassign, quarantine };
+  Kind kind = Kind::worker_lost;
+  int worker = 0;      ///< rank involved; 0 when not tied to a worker
+  std::size_t ik = 0;  ///< mode involved; 0 when none was outstanding
+  double t = 0.0;
+};
+
 /// Everything recorded during one run.  Times are seconds relative to
 /// the recorder's construction (t_begin == 0).
 struct Trace {
@@ -77,6 +89,7 @@ struct Trace {
   std::vector<ModeSpan> spans;
   std::vector<AssignEvent> assigns;
   std::vector<MessageEvent> messages;
+  std::vector<FaultEvent> faults;
 };
 
 /// Thread-safe event recorder.  One per run; drivers pass a pointer to
@@ -104,6 +117,11 @@ class TraceRecorder {
   /// Record one transport send (wired to InProcWorld's send observer).
   void record_message(int tag, int source, int dest, std::size_t bytes,
                       double t = -1.0);
+
+  /// Record a fault-tolerance event (master side).  t < 0 means "stamp
+  /// with now()".
+  void record_fault(FaultEvent::Kind kind, int worker, std::size_t ik,
+                    double t = -1.0);
 
   /// Close the trace and move it out.  t_end < 0 means "stamp with
   /// now()"; virtual replays pass the virtual wallclock.
@@ -141,6 +159,11 @@ struct RunReport {
 
   std::size_t n_modes_completed = 0;
   std::size_t n_attempts = 0;  ///< includes failed/requeued attempts
+
+  // Fault-tolerance accounting (docs/protocol.md failure path).
+  std::size_t n_workers_lost = 0;  ///< death notices + stall timeouts
+  std::size_t n_reassigned = 0;    ///< modes that re-entered the schedule
+  std::size_t n_quarantined = 0;   ///< modes given up as poison
   double total_busy_seconds = 0.0;
   double total_cpu_seconds = 0.0;
   std::uint64_t total_flops = 0;

@@ -1,0 +1,218 @@
+// Documentation link checker: every relative markdown link in
+// README.md, DESIGN.md, and docs/*.md must point at a file that exists
+// in the repo, and every #anchor must match a real heading in its
+// target (GitHub slug rules).  Runs as an ordinary ctest so a renamed
+// doc or section fails the build instead of silently dangling.
+//
+// PLINGER_REPO_ROOT is injected by CMake (same idiom as the golden
+// tests' PLINGER_GOLDEN_DIR).
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path repo_root() { return fs::path(PLINGER_REPO_ROOT); }
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Drop fenced code blocks and inline code spans so snippet text like
+/// `results[ik](...)` is never mistaken for a link.
+std::string strip_code(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_fence = false;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first != std::string::npos &&
+        line.compare(first, 3, "```") == 0) {
+      in_fence = !in_fence;
+      out += '\n';
+      continue;
+    }
+    if (in_fence) {
+      out += '\n';
+      continue;
+    }
+    bool in_span = false;
+    for (const char c : line) {
+      if (c == '`') {
+        in_span = !in_span;
+      } else if (!in_span) {
+        out += c;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// GitHub heading slug: lowercase, keep alphanumerics and hyphens,
+/// spaces become hyphens, everything else is dropped.
+std::string slugify(const std::string& heading) {
+  std::string slug;
+  for (const char c : heading) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      slug += static_cast<char>(std::tolower(u));
+    } else if (c == ' ' || c == '-') {
+      slug += '-';
+    }
+  }
+  return slug;
+}
+
+/// All anchor slugs a file defines, with GitHub's -1, -2 suffixes for
+/// repeated headings.
+std::set<std::string> anchors_of(const fs::path& md) {
+  std::set<std::string> anchors;
+  std::istringstream lines(strip_code(slurp(md)));
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::size_t level = 0;
+    while (level < line.size() && line[level] == '#') ++level;
+    if (level == 0 || level > 6 || level >= line.size() ||
+        line[level] != ' ') {
+      continue;
+    }
+    std::string heading = line.substr(level + 1);
+    while (!heading.empty() && (heading.back() == ' ' ||
+                                heading.back() == '\r')) {
+      heading.pop_back();
+    }
+    std::string slug = slugify(heading);
+    if (anchors.count(slug)) {
+      for (int n = 1;; ++n) {
+        const std::string numbered = slug + "-" + std::to_string(n);
+        if (!anchors.count(numbered)) {
+          slug = numbered;
+          break;
+        }
+      }
+    }
+    anchors.insert(slug);
+  }
+  return anchors;
+}
+
+struct Link {
+  std::string target;  ///< raw (path#anchor) between the parentheses
+  std::size_t line = 0;
+};
+
+/// Inline markdown links [text](target); nested brackets in the text
+/// are not supported (the docs do not use them).
+std::vector<Link> links_of(const fs::path& md) {
+  std::vector<Link> links;
+  const std::string text = strip_code(slurp(md));
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (text[i] != '[') continue;
+    const std::size_t close = text.find(']', i);
+    if (close == std::string::npos) break;
+    if (close + 1 >= text.size() || text[close + 1] != '(') continue;
+    const std::size_t end = text.find(')', close + 2);
+    if (end == std::string::npos) continue;
+    std::string target = text.substr(close + 2, end - close - 2);
+    if (const auto sp = target.find(' '); sp != std::string::npos) {
+      target.resize(sp);  // strip an optional "title" part
+    }
+    if (text.substr(i, close - i).find('\n') == std::string::npos) {
+      links.push_back({target, line});
+    }
+    i = close;
+  }
+  return links;
+}
+
+bool is_external(const std::string& target) {
+  return target.rfind("http://", 0) == 0 ||
+         target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+std::vector<fs::path> doc_files() {
+  std::vector<fs::path> files = {repo_root() / "README.md",
+                                 repo_root() / "DESIGN.md"};
+  const fs::path docs = repo_root() / "docs";
+  if (fs::exists(docs)) {
+    for (const auto& e : fs::directory_iterator(docs)) {
+      if (e.path().extension() == ".md") files.push_back(e.path());
+    }
+  }
+  return files;
+}
+
+}  // namespace
+
+TEST(DocLinks, RepoRootIsSane) {
+  ASSERT_TRUE(fs::exists(repo_root() / "README.md"))
+      << "PLINGER_REPO_ROOT=" << repo_root();
+}
+
+TEST(DocLinks, RequiredDocsExistAndAreLinkedFromReadme) {
+  for (const char* name :
+       {"docs/protocol.md", "docs/architecture.md", "docs/operations.md"}) {
+    EXPECT_TRUE(fs::exists(repo_root() / name)) << name;
+  }
+  std::set<std::string> readme_targets;
+  for (const auto& link : links_of(repo_root() / "README.md")) {
+    readme_targets.insert(link.target.substr(0, link.target.find('#')));
+  }
+  for (const char* name :
+       {"docs/protocol.md", "docs/architecture.md", "docs/operations.md"}) {
+    EXPECT_TRUE(readme_targets.count(name))
+        << "README.md does not link " << name;
+  }
+}
+
+TEST(DocLinks, NoDanglingFileOrAnchorReferences) {
+  for (const fs::path& md : doc_files()) {
+    ASSERT_TRUE(fs::exists(md)) << md;
+    for (const auto& link : links_of(md)) {
+      if (is_external(link.target) || link.target.empty()) continue;
+      const std::string where = md.filename().string() + ":" +
+                                std::to_string(link.line) + " -> " +
+                                link.target;
+      const std::size_t hash = link.target.find('#');
+      const std::string path_part = link.target.substr(0, hash);
+      const std::string anchor =
+          hash == std::string::npos ? "" : link.target.substr(hash + 1);
+
+      fs::path target_file = md;
+      if (!path_part.empty()) {
+        target_file = path_part.front() == '/'
+                          ? repo_root() / path_part.substr(1)
+                          : md.parent_path() / path_part;
+        ASSERT_TRUE(fs::exists(target_file)) << "dangling file: " << where;
+      }
+      if (!anchor.empty()) {
+        ASSERT_EQ(target_file.extension(), ".md")
+            << "anchor into non-markdown: " << where;
+        const auto anchors = anchors_of(target_file);
+        EXPECT_TRUE(anchors.count(anchor))
+            << "dangling anchor: " << where;
+      }
+    }
+  }
+}

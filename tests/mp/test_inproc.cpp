@@ -114,6 +114,33 @@ TEST(InProcWorld, StatsAccounting) {
   EXPECT_EQ(s.per_tag[3], 0u);
 }
 
+// Tag 7 is the protocol's failure/death-notice path: it must land in its
+// own per_tag slot, not the tag-0 catch-all (it used to be folded there,
+// hiding failure traffic from the stats).
+TEST(InProcWorld, StatsCountTag7InOwnSlot) {
+  pm::InProcWorld w(2);
+  w.send(1, 0, 7, std::vector<double>{3.0, 0.0});
+  w.send(1, 0, 7, std::vector<double>{0.0, 1.0});
+  w.send(1, 0, 8, std::vector<double>{1.0});   // out of protocol range
+  w.send(1, 0, 0, std::vector<double>{1.0});
+  const auto s = w.stats();
+  EXPECT_EQ(s.per_tag.size(), 8u);
+  EXPECT_EQ(s.per_tag[7], 2u);
+  EXPECT_EQ(s.per_tag[0], 2u);  // tags outside 1..7 pool in slot 0
+}
+
+TEST(InProcWorld, ProbeForTimesOutThenFinds) {
+  pm::InProcWorld w(2);
+  const auto miss = w.probe_for(0, 1, 4, 0.01);
+  EXPECT_FALSE(miss.has_value());
+  w.send(1, 0, 4, std::vector<double>{7.0});
+  const auto hit = w.probe_for(0, 1, 4, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->tag, 4);
+  EXPECT_EQ(hit->source, 1);
+  EXPECT_EQ(hit->length, 1u);
+}
+
 TEST(InProcWorld, BlockingRecvWakesOnSend) {
   pm::InProcWorld w(2);
   std::vector<double> out(1, 0.0);

@@ -22,9 +22,7 @@
 #include <vector>
 
 #include "common/timing.hpp"
-#include "math/spline.hpp"
-#include "plinger/driver.hpp"
-#include "store/identity.hpp"
+#include "run/plan.hpp"
 #include "store/mode_result_store.hpp"
 
 using namespace plinger;
@@ -33,26 +31,23 @@ namespace {
 
 const char* kPath = "bench_checkpoint_store.bin";
 
-struct World {
-  cosmo::Background bg{cosmo::CosmoParams::standard_cdm()};
-  cosmo::Recombination rec{bg};
-  boltzmann::PerturbationConfig cfg;
-  parallel::KSchedule schedule{math::linspace(0.002, 0.02, 16),
-                               parallel::IssueOrder::largest_first};
-  World() {
-    cfg.lmax_photon = 24;
-    cfg.lmax_polarization = 12;
-    cfg.lmax_neutrino = 12;
-    cfg.rtol = 1e-5;
-  }
-  parallel::RunSetup setup() const {
-    parallel::RunSetup s;
-    s.tau_end = 600.0;
-    s.lmax_cap = 24;
-    s.n_k = static_cast<double>(schedule.size());
-    return s;
-  }
-};
+// One cosmology (context shared by every plan below), one tiny serial
+// sweep; the store settings vary per scenario.
+run::RunConfig base_config() {
+  run::RunConfig cfg;
+  cfg.grid = "linear";
+  cfg.k_min = 0.002;
+  cfg.k_max = 0.02;
+  cfg.n_k = 16;
+  cfg.lmax_photon = 24;
+  cfg.lmax_polarization = 12;
+  cfg.lmax_neutrino = 12;
+  cfg.rtol = 1e-5;
+  cfg.tau_end = 600.0;
+  cfg.lmax_cap = 24;
+  cfg.driver = "serial";
+  return cfg;
+}
 
 void remove_journal() {
   std::error_code ec;
@@ -62,15 +57,15 @@ void remove_journal() {
 }  // namespace
 
 int main() {
-  World w;
+  const run::RunConfig cfg = base_config();
+  const auto ctx = run::make_context(cfg);
+  const run::RunPlan base_plan(cfg, ctx);
   std::printf("bench_checkpoint: %zu modes, serial driver\n\n",
-              w.schedule.size());
+              base_plan.schedule().size());
 
   // Baseline: no store.
   double t0 = wallclock_seconds();
-  const auto base =
-      parallel::run_linger_serial(w.bg, w.rec, w.cfg, w.schedule,
-                                  w.setup());
+  const auto base = base_plan.execute();
   const double t_base = wallclock_seconds() - t0;
   std::printf("%-22s %10.4f s   (reference)\n", "no store", t_base);
 
@@ -78,19 +73,18 @@ int main() {
   const std::size_t intervals[] = {1, 4, 16, 0};
   for (const std::size_t fi : intervals) {
     remove_journal();
-    auto setup = w.setup();
-    setup.store.path = kPath;
-    setup.store.flush_interval = fi;
+    run::RunConfig store_cfg = cfg;
+    store_cfg.store = kPath;
+    store_cfg.flush_interval = fi;
+    const run::RunPlan plan(store_cfg, ctx);
     t0 = wallclock_seconds();
-    const auto out =
-        parallel::run_linger_serial(w.bg, w.rec, w.cfg, w.schedule, setup);
+    const auto out = plan.execute();
     const double t_run = wallclock_seconds() - t0;
     const auto bytes = std::filesystem::file_size(kPath);
 
     // Resume cost: reopen and load everything.
     t0 = wallclock_seconds();
-    const auto out2 =
-        parallel::run_linger_serial(w.bg, w.rec, w.cfg, w.schedule, setup);
+    const auto out2 = plan.execute();
     const double t_resume = wallclock_seconds() - t0;
 
     char label[40];
@@ -107,10 +101,11 @@ int main() {
   }
 
   // Raw append throughput, integrator excluded: rewrite the journal from
-  // the already-computed results many times over.
+  // the already-computed results many times over.  The identity comes
+  // from the plan — the same hash its executions stamp on journals.
   std::printf("\nraw journal append throughput (integration excluded):\n");
-  const store::RunIdentity id = store::run_identity(
-      w.bg.params(), w.cfg, w.schedule.k_grid(), 600.0, 24.0);
+  const store::RunIdentity id = base_plan.identity();
+  const std::size_t n_modes = base_plan.schedule().size();
   const int reps = 200;
   for (const std::size_t fi : intervals) {
     remove_journal();
@@ -121,12 +116,10 @@ int main() {
     std::size_t n = 0;
     t0 = wallclock_seconds();
     {
-      store::ModeResultStore st(opts, id, w.schedule.size() * reps);
+      store::ModeResultStore st(opts, id, n_modes * reps);
       for (int rep = 0; rep < reps; ++rep) {
         for (const auto& [ik, r] : base.results) {
-          st.append(ik + static_cast<std::size_t>(rep) *
-                             w.schedule.size(),
-                    r);
+          st.append(ik + static_cast<std::size_t>(rep) * n_modes, r);
           ++n;
         }
       }

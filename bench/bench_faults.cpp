@@ -21,9 +21,8 @@
 #include <string>
 
 #include "io/bench_json.hpp"
-#include "math/spline.hpp"
 #include "mp/fault_world.hpp"
-#include "plinger/driver.hpp"
+#include "run/plan.hpp"
 
 namespace {
 
@@ -51,24 +50,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto params = cosmo::CosmoParams::standard_cdm();
-  const cosmo::Background bg(params);
-  const cosmo::Recombination rec(bg);
-  boltzmann::PerturbationConfig cfg;
+  const std::size_t n_modes = smoke ? 6 : 24;
+  const int n_workers = 4;
+
+  // The declarative run surface covers the sweep itself; the fault
+  // *injection* plans are host-side test plumbing, attached to each
+  // plan's RunSetup below.
+  run::RunConfig cfg;
+  cfg.grid = "linear";
+  cfg.k_min = 0.002;
+  cfg.k_max = smoke ? 0.02 : 0.1;
+  cfg.n_k = n_modes;
   cfg.lmax_photon = 24;
   cfg.lmax_polarization = 12;
   cfg.lmax_neutrino = 12;
   cfg.rtol = 1e-5;
-
-  const std::size_t n_modes = smoke ? 6 : 24;
-  const int n_workers = 4;
-  const parallel::KSchedule sched(
-      math::linspace(0.002, smoke ? 0.02 : 0.1, n_modes),
-      parallel::IssueOrder::largest_first);
-  parallel::RunSetup base;
-  base.tau_end = smoke ? 600.0 : 2000.0;
-  base.lmax_cap = 24;
-  base.n_k = static_cast<double>(n_modes);
+  cfg.tau_end = smoke ? 600.0 : 2000.0;
+  cfg.lmax_cap = 24;
+  cfg.workers = n_workers;
+  const auto ctx = run::make_context(cfg);
 
   io::BenchReport report("faults");
   std::printf("== fault-tolerance bench: %zu modes, %d workers ==\n",
@@ -78,37 +78,39 @@ int main(int argc, char** argv) {
 
   struct Scenario {
     const char* name;
-    parallel::RunSetup setup;
+    mp::FaultPlan inject;
+    double timeout_seconds = 0.0;
   };
   Scenario scenarios[3];
-  scenarios[0] = {"no-fault", base};
+  scenarios[0] = {"no-fault", {}, 0.0};
 
   {
-    parallel::RunSetup s = base;
     mp::FaultAction a;
     a.kind = mp::FaultKind::kill_before_send;
     a.rank = 1;
     a.tag = 4;  // dies mid-mode: its work is lost and recomputed
-    s.inject.actions.push_back(a);
-    scenarios[1] = {"kill-worker", s};
+    scenarios[1] = {"kill-worker", {}, 0.0};
+    scenarios[1].inject.actions.push_back(a);
   }
   {
-    parallel::RunSetup s = base;
     mp::FaultAction a;
     a.kind = mp::FaultKind::drop_message;
     a.rank = 1;
     a.tag = 4;  // result vanishes: only the deadline can recover it
-    s.inject.actions.push_back(a);
-    s.fault.timeout_seconds = smoke ? 0.2 : 1.0;
-    s.fault.timeout_floor_seconds = 0.05;
-    scenarios[2] = {"drop-timeout", s};
+    scenarios[2] = {"drop-timeout", {}, smoke ? 0.2 : 1.0};
+    scenarios[2].inject.actions.push_back(a);
   }
 
   double wall_clean = 0.0;
   for (const Scenario& sc : scenarios) {
+    run::RunPlan plan(cfg, ctx);
+    plan.setup().inject = sc.inject;
+    if (sc.timeout_seconds > 0.0) {
+      plan.setup().fault.timeout_seconds = sc.timeout_seconds;
+      plan.setup().fault.timeout_floor_seconds = 0.05;
+    }
     const double t0 = now_s();
-    const auto out = parallel::run_plinger_threads(bg, rec, cfg, sched,
-                                                   sc.setup, n_workers);
+    const auto out = plan.execute();
     const double wall = now_s() - t0;
     if (std::strcmp(sc.name, "no-fault") == 0) wall_clean = wall;
     const double overhead = wall_clean > 0.0 ? wall / wall_clean : 1.0;

@@ -13,23 +13,22 @@
 #include <cmath>
 
 #include "math/spline.hpp"
-#include "plinger/driver.hpp"
 #include "plinger/virtual_cluster.hpp"
+#include "run/plan.hpp"
 #include "spectra/cl.hpp"
 
 int main() {
   using namespace plinger;
-  const auto params = cosmo::CosmoParams::standard_cdm();
-  const cosmo::Background bg(params);
-  const cosmo::Recombination rec(bg);
-  const double tau0 = bg.conformal_age();
+  const run::RunConfig model;  // standard CDM, the defaults
+  const auto ctx = run::make_context(model);
+  const double tau0 = ctx->conformal_age();
 
   std::printf("== Figure 1: scaling of the parallel code ==\n");
 
   // --- Measure per-k cost on a k sample.
   boltzmann::PerturbationConfig cfg;
   cfg.rtol = 1e-5;
-  boltzmann::ModeEvolver evolver(bg, rec, cfg);
+  const boltzmann::ModeEvolver evolver = ctx->make_evolver(cfg);
   const auto k_sample = math::logspace(2e-4, 0.06, 8);
   std::printf("\nmeasuring per-mode CPU cost (%zu samples)...\n",
               k_sample.size());
@@ -129,13 +128,16 @@ int main() {
   // --- Cross-check the simulator against real threads at tiny N.
   std::printf("\ncross-check: real threaded run vs virtual cluster "
               "(small grid)\n");
-  const parallel::KSchedule small(
-      math::linspace(0.002, 0.03, 24),
-      parallel::IssueOrder::largest_first);
-  parallel::RunSetup setup;
-  setup.n_k = static_cast<double>(small.size());
-  const auto real_run =
-      parallel::run_plinger_threads(bg, rec, cfg, small, setup, 1);
+  run::RunConfig small_cfg;
+  small_cfg.grid = "linear";
+  small_cfg.k_min = 0.002;
+  small_cfg.k_max = 0.03;
+  small_cfg.n_k = 24;
+  small_cfg.rtol = 1e-5;
+  small_cfg.workers = 1;
+  const run::RunPlan small_plan(small_cfg, ctx);
+  const parallel::KSchedule& small = small_plan.schedule();
+  const auto real_run = small_plan.execute();
   double small_cpu = 0.0;
   std::map<std::size_t, double> measured;
   for (const auto& [ik, r] : real_run.results) {

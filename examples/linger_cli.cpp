@@ -8,13 +8,12 @@
 //
 // Usage:
 //   linger_cli [params.ini]
-// Recognized keys (defaults in parentheses):
-//   h (0.5) omega_b (0.05) omega_lambda (0) t_cmb (2.726) n_s (1.0)
-//   k_min (1e-4) k_max (0.1) n_k (32) grid (log|linear)
-//   workers (2) rtol (1e-5) z_reion (0) ic (adiabatic|isocurvature)
-//   trace (0) trace_json (linger_trace.json)
-//   store () resume (1) flush_interval (1)
-//   fault_timeout (0) max_retries (2)
+//
+// The recognized keys are the run-layer RunConfig surface — see the
+// generated reference table in docs/operations.md (or
+// run::config_reference_markdown()).  Unrecognized keys are warned
+// about, not silently ignored; out-of-range values are rejected with
+// the offending key named.
 //
 // With trace=1 the run records per-mode/per-worker spans and protocol
 // messages; the CLI then prints the Figure-1 style per-worker busy/idle
@@ -33,155 +32,77 @@
 // docs/operations.md for the recovery runbook.
 
 #include <cstdio>
-#include <cmath>
+#include <exception>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <sstream>
 #include <string>
 
-#include "io/ascii_table.hpp"
-#include "io/fortran_binary.hpp"
-#include "math/spline.hpp"
-#include "plinger/driver.hpp"
-#include "plinger/records.hpp"
+#include "io/params.hpp"
 #include "plinger/trace.hpp"
-
-namespace {
-
-std::map<std::string, std::string> read_params(const char* path) {
-  std::map<std::string, std::string> kv;
-  std::ifstream f(path);
-  if (!f.is_open()) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    std::exit(1);
-  }
-  std::string line;
-  while (std::getline(f, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    const auto eq = line.find('=');
-    if (eq == std::string::npos) continue;
-    auto trim = [](std::string s) {
-      const auto b = s.find_first_not_of(" \t");
-      const auto e = s.find_last_not_of(" \t");
-      return (b == std::string::npos) ? std::string()
-                                      : s.substr(b, e - b + 1);
-    };
-    kv[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
-  }
-  return kv;
-}
-
-double get(const std::map<std::string, std::string>& kv,
-           const std::string& key, double dflt) {
-  const auto it = kv.find(key);
-  return it == kv.end() ? dflt : std::stod(it->second);
-}
-
-std::string gets(const std::map<std::string, std::string>& kv,
-                 const std::string& key, const std::string& dflt) {
-  const auto it = kv.find(key);
-  return it == kv.end() ? dflt : it->second;
-}
-
-}  // namespace
+#include "run/config.hpp"
+#include "run/plan.hpp"
+#include "run/products.hpp"
 
 int main(int argc, char** argv) {
   using namespace plinger;
-  std::map<std::string, std::string> kv;
-  if (argc > 1) kv = read_params(argv[1]);
 
-  cosmo::CosmoParams params = cosmo::CosmoParams::standard_cdm();
-  params.h = get(kv, "h", params.h);
-  params.omega_b = get(kv, "omega_b", params.omega_b);
-  params.omega_lambda = get(kv, "omega_lambda", params.omega_lambda);
-  params.t_cmb = get(kv, "t_cmb", params.t_cmb);
-  params.n_s = get(kv, "n_s", params.n_s);
-  params.omega_c = 1.0 - params.omega_b - params.omega_lambda -
-                   params.omega_gamma() - params.omega_nu_massless();
-
-  const cosmo::Background bg(params);
-  cosmo::Recombination::Options ropts;
-  ropts.z_reion = get(kv, "z_reion", 0.0);
-  const cosmo::Recombination rec(bg, ropts);
-  std::printf("linger_cli: %s\n", params.summary().c_str());
-
-  const double k_min = get(kv, "k_min", 1e-4);
-  const double k_max = get(kv, "k_max", 0.1);
-  const auto n_k = static_cast<std::size_t>(get(kv, "n_k", 32));
-  const auto kgrid = (gets(kv, "grid", "log") == "linear")
-                         ? math::linspace(k_min, k_max, n_k)
-                         : math::logspace(k_min, k_max, n_k);
-  const parallel::KSchedule schedule(kgrid,
-                                     parallel::IssueOrder::largest_first);
-
-  boltzmann::PerturbationConfig cfg;
-  cfg.rtol = get(kv, "rtol", 1e-5);
-  if (gets(kv, "ic", "adiabatic") == "isocurvature") {
-    cfg.ic_type = boltzmann::InitialConditionType::cdm_isocurvature;
+  io::KeyValueMap kv;
+  if (argc > 1) {
+    try {
+      kv = io::read_params_file(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
   }
-  parallel::RunSetup setup;
-  setup.n_k = static_cast<double>(schedule.size());
-  setup.trace.enabled = get(kv, "trace", 0.0) != 0.0;
-  const std::string trace_json =
-      gets(kv, "trace_json", "linger_trace.json");
-  setup.store.path = gets(kv, "store", "");
-  setup.store.resume = get(kv, "resume", 1.0) != 0.0;
-  setup.store.flush_interval =
-      static_cast<std::size_t>(get(kv, "flush_interval", 1.0));
-  setup.fault.timeout_seconds = get(kv, "fault_timeout", 0.0);
-  setup.fault.max_retries = static_cast<int>(get(
-      kv, "max_retries", static_cast<double>(setup.fault.max_retries)));
-  const int workers = static_cast<int>(get(kv, "workers", 2));
+  run::ConfigParse parsed;
+  try {
+    parsed = run::parse_config(kv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "linger_cli: %s\n", e.what());
+    return 1;
+  }
+  for (const std::string& key : parsed.unknown_keys) {
+    std::fprintf(stderr, "linger_cli: warning: unrecognized key '%s'\n",
+                 key.c_str());
+  }
+  const run::RunConfig& cfg = parsed.config;
 
-  std::printf("running %zu modes on %d workers...\n", schedule.size(),
-              workers);
-  const auto out = parallel::run_plinger_threads(bg, rec, cfg, schedule,
-                                                 setup, workers);
-  if (!setup.store.path.empty()) {
+  const auto ctx = run::make_context(cfg);
+  std::printf("linger_cli: %s\n", ctx->params().summary().c_str());
+
+  const run::RunPlan plan(cfg, ctx);
+  std::printf("running %zu modes on %d workers...\n",
+              plan.schedule().size(), cfg.workers);
+  const auto out = plan.execute();
+  if (!cfg.store.empty()) {
     // One-line resume summary; the trace report's completed-mode count
     // (loaded zero-cost spans + computed spans) agrees with this.
     std::printf("store %s: %zu modes loaded, %zu computed, %zu total\n",
-                setup.store.path.c_str(), out.n_modes_loaded,
+                cfg.store.c_str(), out.n_modes_loaded,
                 out.n_modes_computed, out.results.size());
   }
   std::printf("done in %.1f s (%.0f Mflop sustained); writing "
               "linger_unit1.txt / linger_unit2.bin\n",
               out.wallclock_seconds, out.flops_per_second() / 1e6);
 
-  // unit_1: the 21-double header records, ASCII (Appendix A: "this data
-  // is written to an ascii file").
-  std::ofstream u1("linger_unit1.txt");
-  io::AsciiTableWriter table(
-      u1, {"ik", "k", "tau0", "a", "delta_c", "delta_b", "delta_g",
-           "delta_nu", "delta_m", "theta_b", "theta_g", "eta", "h",
-           "phi", "psi", "steps", "rhs", "flops", "cpu_s", "tau_switch",
-           "lmax"});
-  // unit_2: ik + moment arrays as Fortran records ("written to a binary
-  // file").
-  std::ofstream u2("linger_unit2.bin", std::ios::binary);
-  io::FortranRecordWriter records(u2);
-
-  for (const auto& [ik, r] : out.results) {
-    table.row(parallel::pack_header(ik, r));
-    records.record(parallel::pack_payload(ik, r));
-  }
-  std::printf("wrote %zu rows + %zu binary records\n",
-              table.rows_written(), records.records_written());
+  const auto written = run::write_unit_files(out, "linger_unit1.txt",
+                                             "linger_unit2.bin");
+  std::printf("wrote %zu rows + %zu binary records\n", written.rows,
+              written.records);
 
   if (out.trace) {
     // The Figure-1 quantities, from the recorded per-mode spans.
     const auto report = parallel::make_run_report(*out.trace);
     std::printf("\n");
     parallel::write_ascii_report(std::cout, report);
-    std::ofstream tj(trace_json);
+    std::ofstream tj(cfg.trace_json);
     if (tj.is_open()) {
       parallel::write_chrome_trace(tj, *out.trace);
       std::printf("wrote %s (load in chrome://tracing)\n",
-                  trace_json.c_str());
+                  cfg.trace_json.c_str());
     } else {
-      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      std::fprintf(stderr, "cannot write %s\n", cfg.trace_json.c_str());
     }
   }
   if (out.completed_degraded) {
@@ -193,7 +114,7 @@ int main(int argc, char** argv) {
                 out.n_workers_lost, out.n_modes_reassigned,
                 out.master.quarantined_ik.size(),
                 out.master.failed_ik.size(), out.results.size(),
-                schedule.size());
+                plan.schedule().size());
   }
   if (!out.master.failed_ik.empty()) {
     std::printf("WARNING: %zu wavenumbers failed integration\n",

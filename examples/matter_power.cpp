@@ -1,51 +1,44 @@
 // The linear matter power spectrum — LINGER's second headline product.
 // Evolves a log-spaced k-grid to the present with the serial (LINGER)
-// driver, builds P(k) and the transfer function, compares against the
-// BBKS analytic fit, and reports sigma_8 for the COBE-normalized model.
+// driver via the run pipeline, builds P(k) and the transfer function,
+// compares against the BBKS analytic fit, and reports sigma_8 for the
+// COBE-normalized model.
 //
 // Runtime: tens of seconds.
 
 #include <cstdio>
 #include <cmath>
 
-#include "math/spline.hpp"
-#include "plinger/driver.hpp"
-#include "spectra/cl.hpp"
-#include "spectra/matterpower.hpp"
+#include "run/plan.hpp"
+#include "run/products.hpp"
 
 int main() {
   using namespace plinger;
 
-  const auto params = cosmo::CosmoParams::standard_cdm();
-  const cosmo::Background bg(params);
-  const cosmo::Recombination rec(bg);
-
   // Matter power needs no dense k-grid: 60 log-spaced modes suffice.
   // Transfer-function modes need only a short photon hierarchy: after
   // recombination the photons no longer drive the matter, so cap lmax.
-  const auto kgrid = math::logspace(1e-4, 0.5, 60);
-  const parallel::KSchedule schedule(kgrid,
-                                     parallel::IssueOrder::largest_first);
-  boltzmann::PerturbationConfig cfg;
+  run::RunConfig cfg;
+  cfg.grid = "log";
+  cfg.k_min = 1e-4;
+  cfg.k_max = 0.5;
+  cfg.n_k = 60;
   cfg.rtol = 1e-5;
-  parallel::RunSetup setup;
-  setup.n_k = static_cast<double>(schedule.size());
-  setup.lmax_cap = 600;  // plenty for delta_m; keeps large k affordable
+  cfg.driver = "serial";
+  cfg.lmax_cap = 600;  // plenty for delta_m; keeps large k affordable
 
+  const auto ctx = run::make_context(cfg);
+  const run::RunPlan plan(cfg, ctx);
   std::printf("evolving %zu modes (serial LINGER driver)...\n",
-              schedule.size());
-  const auto out = parallel::run_linger_serial(bg, rec, cfg, schedule,
-                                               setup);
+              plan.schedule().size());
+  const auto out = plan.execute();
 
-  spectra::MatterPower mp((spectra::PowerLawSpectrum()));
-  for (const auto& [ik, r] : out.results) {
-    mp.add_mode(r.k, r.final_state.delta_m);
-  }
   // COBE normalization is defined through C_2; a quickstart-size C_l run
   // would set it.  For this example use an illustrative factor of unity
   // and report shape quantities, which are normalization-free.
-  mp.finalize(1.0);
+  const auto mp = run::make_matter_power(out, ctx->params().n_s, 1.0);
 
+  const auto& params = ctx->params();
   const double gamma_shape = params.omega_matter() * params.h;
   std::printf("\n   k [1/Mpc]      T(k)         T_BBKS       ratio\n");
   for (double lk = -3.5; lk <= -0.4; lk += 0.25) {

@@ -20,9 +20,8 @@
 
 #include "math/fft.hpp"
 #include "math/rng.hpp"
-#include "math/spline.hpp"
-#include "plinger/driver.hpp"
-#include "spectra/matterpower.hpp"
+#include "run/plan.hpp"
+#include "run/products.hpp"
 
 int main(int argc, char** argv) {
   using namespace plinger;
@@ -30,38 +29,35 @@ int main(int argc, char** argv) {
   const std::size_t n = 64;          // mesh per side
   const double box_mpc = 128.0;      // comoving box
 
-  const auto params = cosmo::CosmoParams::standard_cdm();
-  const cosmo::Background bg(params);
-  const cosmo::Recombination rec(bg);
-  const double tau_start = bg.tau_of_a(1.0 / (1.0 + z_start));
+  // Transfer functions at z_start over the box's k range.
+  const double k_fund = 2.0 * std::numbers::pi / box_mpc;
+  const double k_nyq = k_fund * static_cast<double>(n) / 2.0;
+
+  run::RunConfig cfg;
+  cfg.grid = "log";
+  cfg.k_min = 0.5 * k_fund;
+  cfg.k_max = std::numbers::sqrt3 * k_nyq;
+  cfg.n_k = 40;
+  cfg.rtol = 1e-5;
+  cfg.lmax_cap = 300;  // matter only: short photon hierarchy suffices
+  cfg.workers = 2;
+
+  const auto ctx = run::make_context(cfg);
+  const double tau_start =
+      ctx->background().tau_of_a(1.0 / (1.0 + z_start));
+  cfg.tau_end = tau_start;  // end the evolution at z_start, not today
   std::printf("N-body ICs at z = %.1f (tau = %.1f Mpc), %zu^3 mesh, "
               "%.0f Mpc box\n",
               z_start, tau_start, n, box_mpc);
 
-  // Transfer functions at z_start over the box's k range.
-  const double k_fund = 2.0 * std::numbers::pi / box_mpc;
-  const double k_nyq = k_fund * static_cast<double>(n) / 2.0;
-  const auto kgrid =
-      math::logspace(0.5 * k_fund, std::numbers::sqrt3 * k_nyq, 40);
-  const parallel::KSchedule schedule(kgrid,
-                                     parallel::IssueOrder::largest_first);
-  boltzmann::PerturbationConfig cfg;
-  cfg.rtol = 1e-5;
-  parallel::RunSetup setup;
-  setup.tau_end = tau_start;
-  setup.lmax_cap = 300;  // matter only: short photon hierarchy suffices
-  setup.n_k = static_cast<double>(schedule.size());
-  const auto out = parallel::run_plinger_threads(bg, rec, cfg, schedule,
-                                                 setup, 2);
+  const run::RunPlan plan(cfg, ctx);
+  const auto out = plan.execute();
 
-  spectra::MatterPower mp((spectra::PowerLawSpectrum()));
-  for (const auto& [ik, r] : out.results) {
-    mp.add_mode(r.k, r.final_state.delta_m);
-  }
   // COBE-normalize through sigma_8 today instead of rerunning C_l: the
   // famous COBE value for this model is sigma_8(z=0) ~ 1.2, and linear
   // growth in Omega=1 scales it back by 1/(1+z).
-  mp.finalize(1.0);
+  const auto& params = ctx->params();
+  const auto mp = run::make_matter_power(out, params.n_s, 1.0);
   const double s8_shape = mp.sigma_r(8.0 / params.h);
   const double target_s8_at_start = 1.2 / (1.0 + z_start);
   const double amp2 = std::pow(target_s8_at_start, 2);  // absorbed below

@@ -21,11 +21,11 @@
 #include <string>
 #include <vector>
 
-#include "boltzmann/mode_evolution.hpp"
 #include "io/ppm.hpp"
 #include "math/fft.hpp"
 #include "math/rng.hpp"
 #include "math/spline.hpp"
+#include "run/context.hpp"
 
 int main(int argc, char** argv) {
   using namespace plinger;
@@ -35,11 +35,13 @@ int main(int argc, char** argv) {
   const double tau_end = 250.0;       // "conformal time 250 Mpc"
   const int n_frames = argc > 1 ? std::atoi(argv[1]) : 25;
 
-  const auto params = cosmo::CosmoParams::standard_cdm();
-  const cosmo::Background bg(params);
-  const cosmo::Recombination rec(bg);
+  // The run layer's context supplies the shared physics substrate even
+  // for sampled-output runs like this one that drive a ModeEvolver
+  // directly instead of a driver.
+  const run::RunConfig run_cfg;  // standard CDM, the defaults
+  const auto ctx = run::make_context(run_cfg);
   std::printf("recombination at tau = %.0f Mpc (movie ends at %.0f)\n",
-              rec.tau_star(), tau_end);
+              ctx->recombination().tau_star(), tau_end);
 
   // Output times and the k-grid covering the box's modes.
   std::vector<double> frame_taus(static_cast<std::size_t>(n_frames));
@@ -55,7 +57,7 @@ int main(int argc, char** argv) {
   // Evolve psi(k, tau) per mode; a short hierarchy suffices at tau<250.
   boltzmann::PerturbationConfig cfg;
   cfg.rtol = 1e-5;
-  boltzmann::ModeEvolver evolver(bg, rec, cfg);
+  const boltzmann::ModeEvolver evolver = ctx->make_evolver(cfg);
   std::vector<std::vector<double>> psi_of_k(frame_taus.size());
   std::printf("evolving %zu modes to tau = %.0f Mpc...\n", kgrid.size(),
               tau_end);

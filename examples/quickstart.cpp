@@ -2,10 +2,10 @@
 // of the paper's standard CDM model with the parallel (threaded) PLINGER
 // driver, and print the band powers around the first acoustic peak.
 //
-// This is the minimal end-to-end use of the public API:
-//   CosmoParams -> Background -> Recombination   (the physics substrate)
-//   KSchedule + run_plinger_threads              (the parallel solver)
-//   ClAccumulator + normalize_to_cobe_quadrupole (the spectrum)
+// This is the minimal end-to-end use of the run-pipeline API:
+//   RunConfig                  (the declarative run description)
+//   RunContext + RunPlan       (physics substrate, schedule, driver)
+//   make_spectra               (COBE-normalized C_l)
 //
 // Runtime: a few seconds at the default settings.
 
@@ -13,8 +13,8 @@
 #include <cstdlib>
 #include <cmath>
 
-#include "plinger/driver.hpp"
-#include "spectra/cl.hpp"
+#include "run/plan.hpp"
+#include "run/products.hpp"
 
 int main(int argc, char** argv) {
   using namespace plinger;
@@ -25,48 +25,41 @@ int main(int argc, char** argv) {
                                 : 300;
   const int n_workers = argc > 2 ? std::atoi(argv[2]) : 2;
 
-  // 1. The cosmological model: the paper's production run.
-  const auto params = cosmo::CosmoParams::standard_cdm();
-  std::printf("model: %s\n", params.summary().c_str());
-  const cosmo::Background bg(params);
-  const cosmo::Recombination rec(bg);
-  std::printf("conformal age tau0 = %.1f Mpc, recombination z* = %.0f\n",
-              bg.conformal_age(), rec.z_star());
+  // 1. The run: the paper's production model on its C_l k-grid.
+  run::RunConfig cfg;
+  cfg.grid = "cl";
+  cfg.l_max = l_max;
+  cfg.points_per_osc = 2.0;
+  cfg.rtol = 1e-5;
+  cfg.workers = n_workers;
 
-  // 2. The wavenumber schedule (largest k first, as in the paper).
-  const auto kgrid =
-      spectra::make_cl_kgrid(l_max, bg.conformal_age(), 2.0);
-  const parallel::KSchedule schedule(kgrid,
-                                     parallel::IssueOrder::largest_first);
+  const auto ctx = run::make_context(cfg);
+  std::printf("model: %s\n", ctx->params().summary().c_str());
+  std::printf("conformal age tau0 = %.1f Mpc, recombination z* = %.0f\n",
+              ctx->conformal_age(), ctx->recombination().z_star());
+
+  // 2. The plan: k-schedule (largest k first, as in the paper) + driver.
+  const run::RunPlan plan(cfg, ctx);
   std::printf("integrating %zu k-modes up to k = %.4f Mpc^-1 on %d "
               "workers...\n",
-              schedule.size(), kgrid.back(), n_workers);
+              plan.schedule().size(), plan.schedule().k_grid().back(),
+              n_workers);
 
   // 3. Run PLINGER.
-  boltzmann::PerturbationConfig cfg;
-  cfg.rtol = 1e-5;
-  parallel::RunSetup setup;
-  setup.n_k = static_cast<double>(schedule.size());
-  const auto out = parallel::run_plinger_threads(bg, rec, cfg, schedule,
-                                                 setup, n_workers);
+  const auto out = plan.execute();
   std::printf("done: %.1f s wallclock, %.1f s total CPU, %.0f Mflop "
               "sustained\n",
               out.wallclock_seconds, out.total_worker_cpu_seconds,
               out.flops_per_second() / 1e6);
 
   // 4. Assemble and normalize C_l.
-  spectra::ClAccumulator acc(l_max, spectra::PowerLawSpectrum{});
-  for (const auto& [ik, r] : out.results) {
-    acc.add_mode(r.k, schedule.weight_of_ik(ik), r.f_gamma);
-  }
-  auto spec = acc.temperature();
-  spectra::normalize_to_cobe_quadrupole(spec, 18e-6, params.t_cmb);
+  const auto spec = run::make_spectra(plan, out).temperature;
 
   std::printf("\n  l      l(l+1)C_l/2pi      dT (micro-K)\n");
   for (std::size_t l = 2; l <= l_max;
        l = (l < 20) ? l + 2 : l + l / 5) {
     std::printf("%4zu      %.4e         %6.1f\n", l, spec.dl(l),
-                params.t_cmb * 1e6 * std::sqrt(spec.dl(l)));
+                ctx->params().t_cmb * 1e6 * std::sqrt(spec.dl(l)));
   }
 
   std::size_t l_peak = 2;

@@ -1,8 +1,8 @@
 // Simulated CMB sky map (the paper's Figure 3 pipeline at example
-// scale): compute C_l with PLINGER, draw a Gaussian realization of the
-// a_lm, synthesize the map, smooth with a beam, and write a PPM image
-// plus the temperature statistics the paper quotes (extremes of a few
-// hundred micro-K about T = 2.726 K).
+// scale): compute C_l with PLINGER via the run pipeline, draw a
+// Gaussian realization of the a_lm, synthesize the map, smooth with a
+// beam, and write a PPM image plus the temperature statistics the paper
+// quotes (extremes of a few hundred micro-K about T = 2.726 K).
 //
 // Runtime: a couple of minutes at the default l_max = 250.
 
@@ -12,9 +12,9 @@
 #include <numbers>
 
 #include "io/ppm.hpp"
-#include "plinger/driver.hpp"
+#include "run/plan.hpp"
+#include "run/products.hpp"
 #include "skymap/synthesis.hpp"
-#include "spectra/cl.hpp"
 
 int main(int argc, char** argv) {
   using namespace plinger;
@@ -26,29 +26,20 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1995;
 
-  const auto params = cosmo::CosmoParams::standard_cdm();
-  const cosmo::Background bg(params);
-  const cosmo::Recombination rec(bg);
-
   // C_l run.
-  const auto kgrid =
-      spectra::make_cl_kgrid(l_max, bg.conformal_age(), 2.0);
-  const parallel::KSchedule schedule(kgrid,
-                                     parallel::IssueOrder::largest_first);
-  boltzmann::PerturbationConfig cfg;
+  run::RunConfig cfg;
+  cfg.grid = "cl";
+  cfg.l_max = l_max;
+  cfg.points_per_osc = 2.0;
   cfg.rtol = 1e-5;
-  parallel::RunSetup setup;
-  setup.n_k = static_cast<double>(schedule.size());
+  cfg.workers = 2;
+
+  const auto ctx = run::make_context(cfg);
+  const run::RunPlan plan(cfg, ctx);
   std::printf("computing C_l to l = %zu (%zu modes)...\n", l_max,
-              schedule.size());
-  const auto out = parallel::run_plinger_threads(bg, rec, cfg, schedule,
-                                                 setup, 2);
-  spectra::ClAccumulator acc(l_max, spectra::PowerLawSpectrum{});
-  for (const auto& [ik, r] : out.results) {
-    acc.add_mode(r.k, schedule.weight_of_ik(ik), r.f_gamma);
-  }
-  auto spec = acc.temperature();
-  spectra::normalize_to_cobe_quadrupole(spec, 18e-6, params.t_cmb);
+              plan.schedule().size());
+  const auto out = plan.execute();
+  const auto spec = run::make_spectra(plan, out).temperature;
 
   // Realize and synthesize.  Beam: FWHM of two map pixels.
   const std::size_t n_lat = 2 * l_max, n_lon = 4 * l_max;
@@ -60,11 +51,11 @@ int main(int argc, char** argv) {
   const auto map = skymap::synthesize(alm, n_lat, n_lon);
 
   // Statistics in micro-K (map values are dT/T).
-  const double t0_uk = params.t_cmb * 1e6;
+  const double t0_uk = ctx->params().t_cmb * 1e6;
   std::printf("map statistics: min = %+.0f uK, max = %+.0f uK, rms = %.0f "
               "uK about T = %.3f K\n",
               map.min() * t0_uk, map.max() * t0_uk, map.rms() * t0_uk,
-              params.t_cmb);
+              ctx->params().t_cmb);
   const double expect_rms =
       std::sqrt([&] {
         double v = 0.0;

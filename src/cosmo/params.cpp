@@ -27,6 +27,17 @@ double CosmoParams::omega_nu_massless() const {
   return n_eff_massless * per_species;
 }
 
+void CosmoParams::close_universe() {
+  const double budget = 1.0 - omega_b - omega_lambda - omega_nu -
+                        omega_gamma() - omega_nu_massless();
+  PLINGER_REQUIRE(budget >= 0.0,
+                  "close_universe: omega_b + omega_lambda + omega_nu + "
+                  "radiation exceed 1; no room left for omega_c "
+                  "(budget = " +
+                      std::to_string(budget) + ")");
+  omega_c = budget;
+}
+
 void CosmoParams::validate() const {
   PLINGER_REQUIRE(h > 0.2 && h < 1.5, "h out of range (0.2, 1.5)");
   PLINGER_REQUIRE(omega_b > 0.0, "omega_b must be positive");
@@ -72,7 +83,7 @@ CosmoParams CosmoParams::standard_cdm() {
   p.omega_nu = 0.0;
   p.n_s = 1.0;
   // Flat: CDM absorbs what photons+neutrinos do not contribute.
-  p.omega_c = 1.0 - p.omega_b - p.omega_gamma() - p.omega_nu_massless();
+  p.close_universe();
   return p;
 }
 
@@ -101,8 +112,7 @@ CosmoParams CosmoParams::mixed_dark_matter() {
   p.omega_nu = 0.20;
   p.n_eff_massless = 2.0;
   p.n_s = 1.0;
-  p.omega_c =
-      1.0 - p.omega_b - p.omega_nu - p.omega_gamma() - p.omega_nu_massless();
+  p.close_universe();
   return p;
 }
 

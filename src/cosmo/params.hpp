@@ -40,6 +40,14 @@ struct CosmoParams {
   /// Total matter Omega (CDM + baryons + massive neutrinos).
   double omega_matter() const { return omega_c + omega_b + omega_nu; }
 
+  /// Close the universe to flatness by deriving omega_c from everything
+  /// else: omega_c = 1 - omega_b - omega_lambda - omega_nu - omega_gamma
+  /// - omega_nu_massless.  This is the one canonical form of the closure
+  /// every entry point used to hand-roll; it throws InvalidArgument when
+  /// the remaining budget is negative (the hand-rolled versions silently
+  /// produced a negative omega_c and NaN backgrounds downstream).
+  void close_universe();
+
   /// Throws InvalidArgument when parameters are unphysical or unsupported
   /// (the perturbation module requires a flat universe; the background
   /// tolerates |1 - Omega_total| < 1e-8 only).

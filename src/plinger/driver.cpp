@@ -21,6 +21,15 @@ using boltzmann::ModeResult;
 
 namespace {
 
+/// The per-run thermo cache: the one the caller prebuilt (RunSetup::
+/// thermo, e.g. a batched run reusing a RunContext), or a fresh build.
+std::shared_ptr<const cosmo::ThermoCache> run_cache(
+    const cosmo::Background& bg, const cosmo::Recombination& rec,
+    const RunSetup& setup) {
+  if (setup.thermo) return setup.thermo;
+  return std::make_shared<const cosmo::ThermoCache>(bg, rec);
+}
+
 /// Shared driver epilogue: close the recorder into the run output.
 void attach_trace(RunOutput& out, std::unique_ptr<TraceRecorder> rec,
                   int n_workers) {
@@ -100,7 +109,7 @@ RunOutput run_linger_serial(const cosmo::Background& bg,
 
   // One fused thermo/background cache per run (shared here only with
   // the evolver, but built the same way the parallel drivers share it).
-  const auto cache = std::make_shared<const cosmo::ThermoCache>(bg, rec);
+  const auto cache = run_cache(bg, rec, setup);
   ModeEvolver evolver(bg, rec, cfg, cache);
   const double tau_end =
       setup.tau_end > 0.0 ? setup.tau_end : bg.conformal_age();
@@ -169,7 +178,7 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
 
   // One fused thermo/background cache per run, shared read-only by every
   // worker thread (immutable after construction, so no synchronization).
-  const auto cache = std::make_shared<const cosmo::ThermoCache>(bg, rec);
+  const auto cache = run_cache(bg, rec, setup);
 
   {
     std::vector<std::jthread> threads;
@@ -259,7 +268,7 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
   // Worker threads (ranks 1..n).  Exceptions are captured and rethrown
   // on the master thread after join.  All workers share one read-only
   // thermo cache; the Appendix-A wire protocol is untouched by it.
-  const auto cache = std::make_shared<const cosmo::ThermoCache>(bg, rec);
+  const auto cache = run_cache(bg, rec, setup);
   std::mutex error_mutex;
   std::exception_ptr first_error;
   std::vector<std::jthread> threads;

@@ -32,6 +32,7 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "boltzmann/mode_evolution.hpp"
@@ -40,6 +41,10 @@
 #include "plinger/schedule.hpp"
 #include "plinger/trace.hpp"
 #include "store/options.hpp"
+
+namespace plinger::cosmo {
+class ThermoCache;
+}
 
 namespace plinger::parallel {
 
@@ -102,6 +107,14 @@ struct RunSetup {
   /// non-empty, run_plinger_threads builds a mp::FaultInjectingWorld
   /// instead of a plain InProcWorld.  Never broadcast.
   mp::FaultPlan inject;
+
+  /// Host-side prebuilt thermo cache, shared read-only by every worker;
+  /// null makes each driver build its own per run (the historical
+  /// behavior).  A run::RunContext passes its cache here so batched
+  /// runs over one cosmology pay the construction cost exactly once.
+  /// Must have been built from the same Background/Recombination the
+  /// driver is called with.  Never broadcast.
+  std::shared_ptr<const cosmo::ThermoCache> thermo;
 
   std::array<double, 5> to_buffer() const;
   static RunSetup from_buffer(std::span<const double> b);

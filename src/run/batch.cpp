@@ -1,0 +1,178 @@
+#include "run/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "math/spline.hpp"
+#include "run/context.hpp"
+#include "run/plan.hpp"
+
+namespace plinger::run {
+
+namespace {
+
+/// Pre-context cost estimate for issue ordering.  The real cost needs
+/// the conformal age (contexts are built lazily, per cosmology, by the
+/// jobs themselves), so the `cl` grid is approximated with the
+/// Einstein-de-Sitter age tau0 ~ 2/H0 — relative ordering is all that
+/// matters here.
+double cost_hint(const RunConfig& cfg) {
+  const double tau0 =
+      2.0 * plinger::constants::hubble_distance_mpc / cfg.h;
+  std::vector<double> grid;
+  if (cfg.grid == "cl") {
+    const double dk =
+        3.14159265358979323846 / (cfg.points_per_osc * tau0);
+    const double k_max =
+        cfg.k_margin * static_cast<double>(cfg.l_max) / tau0;
+    for (double k = 0.25 / tau0; k <= k_max; k += dk) grid.push_back(k);
+  } else if (cfg.grid == "linear") {
+    grid = math::linspace(cfg.k_min, cfg.k_max, cfg.n_k);
+  } else {
+    grid = math::logspace(cfg.k_min, cfg.k_max, cfg.n_k);
+  }
+  const auto cap = static_cast<std::size_t>(cfg.lmax_cap);
+  double cost = 0.0;
+  for (double k : grid) {
+    cost += (k * tau0 + 60.0) *
+            static_cast<double>(boltzmann::lmax_photon_for_k(k, tau0, cap));
+  }
+  return cost;
+}
+
+using ContextFuture =
+    std::shared_future<std::shared_ptr<const RunContext>>;
+
+}  // namespace
+
+BatchOutput run_batch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& opts) {
+  PLINGER_REQUIRE(opts.executors >= 1, "run_batch: executors must be >= 1");
+  const std::size_t n = jobs.size();
+
+  // Up-front validation: bad configs and store-path collisions fail the
+  // whole batch before any work starts.
+  std::map<std::string, std::size_t> store_paths;
+  for (std::size_t j = 0; j < n; ++j) {
+    jobs[j].config.validate();
+    if (jobs[j].config.store.empty()) continue;
+    const auto [it, fresh] = store_paths.emplace(jobs[j].config.store, j);
+    PLINGER_REQUIRE(fresh, "run_batch: jobs '" + jobs[it->second].name +
+                               "' and '" + jobs[j].name +
+                               "' share store path " + jobs[j].config.store);
+  }
+
+  BatchOutput out;
+  out.outputs.resize(n);
+  out.report.jobs.resize(n);
+
+  // Largest job first, by the pre-context estimate.
+  std::vector<std::size_t> issue(n);
+  std::iota(issue.begin(), issue.end(), std::size_t{0});
+  std::vector<double> hint(n);
+  for (std::size_t j = 0; j < n; ++j) hint[j] = cost_hint(jobs[j].config);
+  std::stable_sort(issue.begin(), issue.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return hint[a] > hint[b];
+                   });
+
+  std::mutex cache_mu;
+  std::map<std::uint64_t, ContextFuture> cache;
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::exception_ptr> errors(n);
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t at = cursor.fetch_add(1);
+      if (at >= n) return;
+      const std::size_t j = issue[at];
+      BatchJobReport& report = out.report.jobs[j];
+      report.name = jobs[j].name;
+      try {
+        const std::uint64_t key =
+            RunContext::cosmology_key(jobs[j].config);
+        report.cosmology_key = key;
+
+        // One build per cosmology: the first job for a key owns the
+        // construction; concurrent jobs with the same key wait on its
+        // future instead of duplicating the work.
+        std::promise<std::shared_ptr<const RunContext>> build;
+        bool builder = false;
+        ContextFuture fut;
+        {
+          const std::lock_guard<std::mutex> lock(cache_mu);
+          const auto it = cache.find(key);
+          if (it == cache.end()) {
+            fut = build.get_future().share();
+            cache.emplace(key, fut);
+            builder = true;
+          } else {
+            fut = it->second;
+            report.context_cache_hit = true;
+          }
+        }
+        if (builder) {
+          try {
+            build.set_value(make_context(jobs[j].config));
+          } catch (...) {
+            build.set_exception(std::current_exception());
+          }
+        }
+
+        const RunPlan plan(jobs[j].config, fut.get());
+        report.estimated_cost = plan.estimated_cost();
+        report.store_identity = plan.identity().value;
+        parallel::RunOutput result = plan.execute();
+        report.wallclock_seconds = result.wallclock_seconds;
+        report.n_modes = result.results.size();
+        out.outputs[j] = std::move(result);
+      } catch (...) {
+        errors[j] = std::current_exception();
+      }
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t pool =
+      std::min<std::size_t>(static_cast<std::size_t>(opts.executors), n);
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+  }
+  out.report.wallclock_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (std::size_t j = 0; j < n; ++j) {
+    if (errors[j]) std::rethrow_exception(errors[j]);
+  }
+
+  std::size_t hits = 0;
+  double busy = 0.0;
+  for (const BatchJobReport& r : out.report.jobs) {
+    hits += r.context_cache_hit ? 1u : 0u;
+    busy += r.wallclock_seconds;
+  }
+  out.report.context_cache_hits = hits;
+  out.report.n_contexts_built = cache.size();
+  out.report.pool_utilization =
+      out.report.wallclock_seconds > 0.0
+          ? busy / (out.report.wallclock_seconds *
+                    static_cast<double>(pool == 0 ? 1 : pool))
+          : 0.0;
+  return out;
+}
+
+}  // namespace plinger::run

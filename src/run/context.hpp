@@ -1,0 +1,68 @@
+#pragma once
+
+/// RunContext — the per-cosmology substrate of a run, built exactly once
+/// and shared read-only.
+///
+/// Background (which owns the NuDensity tables), Recombination, and the
+/// fused ThermoCache are the expensive, immutable, cosmology-determined
+/// objects every driver call needs.  A RunContext builds them once from
+/// a RunConfig; RunPlan wires the cache into RunSetup::thermo so worker
+/// evolvers share it, and run_batch() caches whole contexts by
+/// cosmology_key() so N runs over one cosmology pay the construction
+/// cost exactly once.
+
+#include <cstdint>
+#include <memory>
+
+#include "boltzmann/mode_evolution.hpp"
+#include "cosmo/background.hpp"
+#include "cosmo/recombination.hpp"
+#include "cosmo/thermo_cache.hpp"
+#include "run/config.hpp"
+
+namespace plinger::run {
+
+class RunContext {
+ public:
+  /// Materializes the cosmology and builds Background, Recombination,
+  /// and ThermoCache.  Throws InvalidArgument on an invalid model.
+  explicit RunContext(const RunConfig& cfg);
+
+  // Immovable: Recombination and the cache reference the Background
+  // member; sharing is by shared_ptr<const RunContext>.
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  const cosmo::CosmoParams& params() const { return bg_.params(); }
+  const cosmo::Background& background() const { return bg_; }
+  const cosmo::Recombination& recombination() const { return rec_; }
+  std::shared_ptr<const cosmo::ThermoCache> thermo() const {
+    return thermo_;
+  }
+  double conformal_age() const { return bg_.conformal_age(); }
+
+  /// An evolver over this context's shared cache, for callers that
+  /// integrate modes directly (sampled-output runs like the potential
+  /// movie) rather than through a driver.  The context must outlive it.
+  boltzmann::ModeEvolver make_evolver(
+      const boltzmann::PerturbationConfig& cfg) const {
+    return {bg_, rec_, cfg, thermo_};
+  }
+
+  /// FNV-1a hash of the cosmology this config materializes (the derived
+  /// CosmoParams fields plus z_reion — exactly what determines this
+  /// context's contents).  Two configs with equal keys may share a
+  /// context; differing k-grids, drivers, or store options do not
+  /// affect it.
+  static std::uint64_t cosmology_key(const RunConfig& cfg);
+
+ private:
+  cosmo::Background bg_;
+  cosmo::Recombination rec_;
+  std::shared_ptr<const cosmo::ThermoCache> thermo_;
+};
+
+/// Build a shared context (the run_batch cache unit).
+std::shared_ptr<const RunContext> make_context(const RunConfig& cfg);
+
+}  // namespace plinger::run

@@ -1,0 +1,85 @@
+#include "run/plan.hpp"
+
+#include <utility>
+
+#include "math/spline.hpp"
+#include "spectra/cl.hpp"
+
+namespace plinger::run {
+
+namespace {
+
+std::vector<double> materialize_grid(const RunConfig& cfg,
+                                     const RunContext& ctx) {
+  if (cfg.grid == "cl") {
+    return spectra::make_cl_kgrid(cfg.l_max, ctx.conformal_age(),
+                                  cfg.points_per_osc, cfg.k_margin);
+  }
+  if (cfg.grid == "linear") {
+    return math::linspace(cfg.k_min, cfg.k_max, cfg.n_k);
+  }
+  return math::logspace(cfg.k_min, cfg.k_max, cfg.n_k);
+}
+
+}  // namespace
+
+RunPlan::RunPlan(RunConfig cfg, std::shared_ptr<const RunContext> ctx)
+    : cfg_(std::move(cfg)),
+      ctx_(std::move(ctx)),
+      pcfg_(cfg_.perturbation()),
+      schedule_(materialize_grid(cfg_, *ctx_), cfg_.issue_order()) {
+  setup_.tau_end = cfg_.tau_end;
+  setup_.lmax_cap = cfg_.lmax_cap;
+  setup_.n_k = static_cast<double>(schedule_.size());
+  setup_.trace.enabled = cfg_.trace;
+  setup_.store.path = cfg_.store;
+  setup_.store.resume = cfg_.resume;
+  setup_.store.flush_interval = cfg_.flush_interval;
+  setup_.store.stop_after = cfg_.stop_after;
+  setup_.fault.timeout_seconds = cfg_.fault_timeout;
+  setup_.fault.max_retries = cfg_.max_retries;
+  setup_.thermo = ctx_->thermo();
+  // setup_.rtol stays at its wire default: the integrator tolerance is
+  // carried by the perturbation config (the historical wiring), and the
+  // broadcast slot is a worker cross-check only.
+}
+
+store::RunIdentity RunPlan::identity() const {
+  return store::run_identity(ctx_->params(), pcfg_, schedule_.k_grid(),
+                             setup_.tau_end, setup_.lmax_cap);
+}
+
+double RunPlan::estimated_cost() const {
+  // Integration work per mode ~ (steps) x (state size): steps scale
+  // with k tau0 oscillations, state with the k-dependent photon
+  // hierarchy.  Relative units only — used to order runs in a batch.
+  const double tau0 = ctx_->conformal_age();
+  const auto cap = static_cast<std::size_t>(setup_.lmax_cap);
+  double cost = 0.0;
+  for (double k : schedule_.k_grid()) {
+    const double lmax = static_cast<double>(
+        boltzmann::lmax_photon_for_k(k, tau0, cap));
+    cost += (k * tau0 + 60.0) * lmax;
+  }
+  return cost;
+}
+
+parallel::RunOutput RunPlan::execute() const {
+  const cosmo::Background& bg = ctx_->background();
+  const cosmo::Recombination& rec = ctx_->recombination();
+  if (cfg_.driver == "serial") {
+    return parallel::run_linger_serial(bg, rec, pcfg_, schedule_, setup_);
+  }
+  if (cfg_.driver == "autotask") {
+    return parallel::run_linger_autotask(bg, rec, pcfg_, schedule_,
+                                         setup_, cfg_.workers);
+  }
+  return parallel::run_plinger_threads(bg, rec, pcfg_, schedule_, setup_,
+                                       cfg_.workers);
+}
+
+parallel::RunOutput execute_run(const RunConfig& cfg) {
+  return RunPlan(cfg, make_context(cfg)).execute();
+}
+
+}  // namespace plinger::run

@@ -1,0 +1,74 @@
+#pragma once
+
+/// RunPlan — the executable form of a RunConfig: the materialized
+/// k-schedule, perturbation configuration, and RunSetup, bound to a
+/// shared RunContext, with one execute() that dispatches to the chosen
+/// driver.
+///
+/// Construction is where the config meets the physics: the `cl` grid
+/// needs the conformal age, so the grid is materialized here (from the
+/// context) rather than in RunConfig.  The assembled RunSetup is
+/// exposed mutably so benches and tests can attach what the declarative
+/// surface does not cover (fault-injection plans, custom stop hooks)
+/// before execute().
+
+#include <memory>
+
+#include "boltzmann/config.hpp"
+#include "plinger/driver.hpp"
+#include "plinger/schedule.hpp"
+#include "run/context.hpp"
+#include "store/identity.hpp"
+
+namespace plinger::run {
+
+class RunPlan {
+ public:
+  /// Materializes grid, schedule, perturbation config, and RunSetup
+  /// (including setup().thermo = ctx->thermo()).  The context must be
+  /// the one built from cfg's cosmology (run_batch may share it across
+  /// configs with equal cosmology_key()).
+  RunPlan(RunConfig cfg, std::shared_ptr<const RunContext> ctx);
+
+  const RunConfig& config() const { return cfg_; }
+  const RunContext& context() const { return *ctx_; }
+  const parallel::KSchedule& schedule() const { return schedule_; }
+  const boltzmann::PerturbationConfig& perturbation() const {
+    return pcfg_;
+  }
+
+  /// The assembled run setup; mutable so callers can attach host-side
+  /// extras (setup().inject, setup().store.stop_after, ...) before
+  /// execute().  The 5 broadcast doubles and store/trace/fault fields
+  /// are already filled from the config.
+  parallel::RunSetup& setup() { return setup_; }
+  const parallel::RunSetup& setup() const { return setup_; }
+
+  /// The checkpoint-store identity this plan's execution stamps on (and
+  /// requires of) a journal — computed from the same materialized
+  /// quantities the drivers hash internally, so a journal written by a
+  /// pre-run-layer entry point with the same physics still matches.
+  store::RunIdentity identity() const;
+
+  /// Deterministic relative cost estimate (arbitrary units): per-mode
+  /// integration work summed over the schedule.  run_batch() issues
+  /// plans largest-first on this, mirroring the paper's largest-k-first
+  /// inside one run.
+  double estimated_cost() const;
+
+  /// Run the configured driver over the schedule.  Respects everything
+  /// in setup(), including caller mutations.
+  parallel::RunOutput execute() const;
+
+ private:
+  RunConfig cfg_;
+  std::shared_ptr<const RunContext> ctx_;
+  boltzmann::PerturbationConfig pcfg_;
+  parallel::KSchedule schedule_;
+  parallel::RunSetup setup_;
+};
+
+/// The one-call form: context + plan + execute for a single config.
+parallel::RunOutput execute_run(const RunConfig& cfg);
+
+}  // namespace plinger::run

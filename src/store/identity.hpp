@@ -11,6 +11,13 @@
 /// changes which mode is computed when, never what a mode's result is
 /// (the driver-equivalence sweep holds this bitwise), so a store written
 /// largest-first may be resumed natural-order and vice versa.
+///
+/// The canonical producer of these inputs is the run layer:
+/// run::RunPlan::identity() materializes a RunConfig and calls
+/// run_identity() with the exact values its execute() hands the driver.
+/// tests/run/test_equivalence.cpp pins both the agreement with the
+/// legacy hand-rolled wiring and the hash value itself, so journals
+/// written by pre-RunConfig entry points keep resuming.
 
 #include <cstdint>
 #include <span>

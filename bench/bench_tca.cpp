@@ -1,60 +1,123 @@
-// Tight-coupling ablation: accuracy and cost versus the switch
-// threshold.
+// bench_tca: accuracy and cost versus the tight-coupling threshold.
 //
 // The tight-coupling expansion is what makes the early-time photon-
 // baryon system integrable with the paper's explicit DVERK integrator:
-// leaving it too late loses accuracy (the expansion degrades), leaving
-// too early costs steps (the explicit integrator must resolve 1/opacity).
-// The bench sweeps the threshold and reports delta_gamma at
-// recombination plus the step count, against a tight reference.
+// switching too late loses accuracy (the expansion degrades), too early
+// costs steps (the integrator must resolve 1/opacity).  Since the run
+// layer exposes the threshold as the `tca_eps` key, this bench is a
+// thin shell over it: one shared context, one RunConfig per threshold,
+// runs ending just past recombination, and the probe is each mode's
+// final delta_gamma against a tight-tolerance early-exit reference.
+//
+// Usage: bench_tca [--smoke] [--out FILE]
+//   --smoke   fewer modes; writes BENCH_tca.json to the cwd (ctest
+//             wiring, `check-accuracy` target)
+//   --out     explicit output path (overrides both defaults)
 
-#include <cstdio>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "boltzmann/mode_evolution.hpp"
+#include "io/bench_json.hpp"
+#include "run/config.hpp"
+#include "run/context.hpp"
+#include "run/plan.hpp"
 
-int main() {
-  using namespace plinger;
-  const auto params = cosmo::CosmoParams::standard_cdm();
-  const cosmo::Background bg(params);
-  const cosmo::Recombination rec(bg);
-  const double tau_probe = rec.tau_star();
+using namespace plinger;
 
-  std::printf("== ablation: tight-coupling switch threshold ==\n");
-  std::printf("probe: delta_gamma(k, tau*) at tau* = %.1f Mpc\n\n",
-              tau_probe);
-
-  for (double k : {0.02, 0.08}) {
-    // Reference: a very conservative (early-exit) threshold at tight
-    // integrator tolerance.
-    boltzmann::PerturbationConfig ref_cfg;
-    ref_cfg.rtol = 1e-8;
-    ref_cfg.tca_eps = 5e-4;
-    boltzmann::EvolveRequest req;
-    req.k = k;
-    req.sample_taus = {tau_probe};
-    const auto ref = boltzmann::ModeEvolver(bg, rec, ref_cfg)
-                         .evolve(req, tau_probe + 20.0);
-    const double ref_dg = ref.samples[0].delta_g;
-    std::printf("k = %.3f Mpc^-1 (reference delta_g = %+.6e, %ld "
-                "steps)\n",
-                k, ref_dg, ref.stats.n_accepted);
-    std::printf("   tca_eps    switch tau [Mpc]    steps    "
-                "rel. error\n");
-    for (double eps : {2e-2, 8e-3, 2e-3, 5e-4}) {
-      boltzmann::PerturbationConfig cfg;
-      cfg.rtol = 1e-6;
-      cfg.tca_eps = eps;
-      const auto r = boltzmann::ModeEvolver(bg, rec, cfg)
-                         .evolve(req, tau_probe + 20.0);
-      std::printf("   %7.0e      %8.2f        %6ld    %.2e\n", eps,
-                  r.tau_switch, r.stats.n_accepted,
-                  std::abs(r.samples[0].delta_g - ref_dg) /
-                      std::abs(ref_dg));
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_tca [--smoke] [--out FILE]\n");
+      return 2;
     }
-    std::printf("\n");
   }
-  std::printf("(early exit costs steps; the default 8e-3 keeps the "
+
+  run::RunConfig base;
+  base.grid = "linear";
+  base.k_min = 0.02;
+  base.k_max = 0.08;
+  base.n_k = smoke ? 2 : 4;
+  base.lmax_cap = 24;
+  base.lmax_photon = 24;
+  base.lmax_polarization = 12;
+  base.lmax_neutrino = 12;
+  base.driver = "serial";
+
+  const auto ctx = run::make_context(base);
+  const double tau_star = ctx->recombination().tau_star();
+  base.tau_end = tau_star + 20.0;  // probe just past the visibility peak
+  std::printf("== tight-coupling threshold sweep ==\n");
+  std::printf("probe: delta_gamma(k, tau* + 20) at tau* = %.1f Mpc, "
+              "%zu modes\n\n",
+              tau_star, base.n_k);
+
+  // Reference: very conservative (early-exit) threshold at tight
+  // integrator tolerance.
+  run::RunConfig ref_cfg = base;
+  ref_cfg.rtol = 1e-8;
+  ref_cfg.tca_eps = 5e-4;
+  const auto ref = run::RunPlan(ref_cfg, ctx).execute();
+
+  io::BenchReport report("tca");
+  std::printf("   tca_eps     steps    CPU [s]    worst rel. error\n");
+  for (double eps : {2e-2, 8e-3, 2e-3, 5e-4}) {
+    run::RunConfig cfg = base;
+    cfg.rtol = 1e-6;
+    cfg.tca_eps = eps;
+    const auto out = run::RunPlan(cfg, ctx).execute();
+
+    long steps = 0;
+    double cpu = 0.0, worst = 0.0;
+    for (const auto& [ik, r] : out.results) {
+      steps += r.stats.n_accepted;
+      cpu += r.cpu_seconds;
+      const auto it = ref.results.find(ik);
+      if (it == ref.results.end()) {
+        std::fprintf(stderr, "FAIL: mode %zu missing from reference\n",
+                     ik);
+        return 1;
+      }
+      const double a = it->second.final_state.delta_g;
+      const double b = r.final_state.delta_g;
+      worst = std::max(worst, std::abs(b - a) / std::abs(a));
+    }
+    std::printf("   %7.0e    %6ld    %7.3f    %.2e\n", eps, steps, cpu,
+                worst);
+
+    char name[32];
+    std::snprintf(name, sizeof name, "eps_%g", eps);
+    report.add(name)
+        .label("tca_eps", std::to_string(eps))
+        .metric("tca_eps", eps)
+        .metric("n_modes", static_cast<double>(out.results.size()))
+        .metric("steps", static_cast<double>(steps))
+        .metric("cpu_seconds", cpu)
+        .metric("worst_rel_error_delta_g", worst);
+
+    // The default threshold must hold the historical 1e-3-level error;
+    // a regression here means the TCA switch moved, not the bench.
+    if (eps == 8e-3 && !(worst < 5e-3)) {
+      std::fprintf(stderr,
+                   "FAIL: default tca_eps error %.2e exceeds 5e-3\n",
+                   worst);
+      return 1;
+    }
+  }
+  std::printf("\n(early exit costs steps; the default 8e-3 keeps the "
               "error at the 1e-3 level)\n");
+
+  // Smoke runs land in the cwd so ctest never dirties the repo root.
+  const std::string written = report.write_file(
+      out_path.empty() && smoke ? "BENCH_tca.json" : out_path);
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

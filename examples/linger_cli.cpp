@@ -63,8 +63,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (const std::string& key : parsed.unknown_keys) {
-    std::fprintf(stderr, "linger_cli: warning: unrecognized key '%s'\n",
-                 key.c_str());
+    const std::string hint = run::config_key_suggestion(key);
+    if (hint.empty()) {
+      std::fprintf(stderr, "linger_cli: warning: unrecognized key '%s'\n",
+                   key.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "linger_cli: warning: unrecognized key '%s' (did you "
+                   "mean '%s'?)\n",
+                   key.c_str(), hint.c_str());
+    }
   }
   const run::RunConfig& cfg = parsed.config;
 

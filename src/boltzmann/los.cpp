@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "math/bessel.hpp"
@@ -9,9 +10,44 @@
 
 namespace plinger::boltzmann {
 
+void validate_los_options(const LosOptions& opts) {
+  if (opts.lmax_evolve < kLosMinLmaxEvolve) {
+    std::ostringstream os;
+    os << "los: lmax_evolve = " << opts.lmax_evolve << " is below the "
+       << kLosMinLmaxEvolve << " moments the line-of-sight sources need";
+    throw InvalidArgument(os.str());
+  }
+  if (opts.n_rec_samples < 2) {
+    std::ostringstream os;
+    os << "los: n_rec_samples = " << opts.n_rec_samples
+       << " makes the recombination sample window degenerate (need >= 2)";
+    throw InvalidArgument(os.str());
+  }
+  if (opts.n_late_samples < 1) {
+    throw InvalidArgument(
+        "los: n_late_samples = 0 leaves the late-time (ISW) window empty "
+        "(need >= 1)");
+  }
+  if (!(opts.rec_width_sigmas > 0.0)) {
+    std::ostringstream os;
+    os << "los: rec_width_sigmas = " << opts.rec_width_sigmas
+       << " collapses the visibility window (need > 0)";
+    throw InvalidArgument(os.str());
+  }
+}
+
+LosOptions los_options_for_accuracy(const std::string& tier) {
+  if (tier == "draft") return LosOptions{24, 96, 48, 6.0};
+  if (tier == "standard") return LosOptions{};
+  if (tier == "high") return LosOptions{60, 240, 120, 8.0};
+  throw InvalidArgument("los_accuracy: '" + tier +
+                        "' is not one of {draft, standard, high}");
+}
+
 std::vector<double> los_sample_taus(const cosmo::Background& bg,
                                     const cosmo::Recombination& rec,
                                     const LosOptions& opts) {
+  validate_los_options(opts);
   const double tau_star = rec.tau_star();
   const double tau0 = bg.conformal_age();
 
@@ -48,39 +84,127 @@ std::vector<double> los_sample_taus(const cosmo::Background& bg,
   return taus;
 }
 
-std::vector<double> los_f_gamma(const cosmo::Background& bg,
-                                const cosmo::Recombination& rec,
-                                const ModeResult& mode,
-                                std::size_t l_max) {
+BesselTable::BesselTable(std::size_t l_max, double x_max, double dx)
+    : l_max_(l_max), x_max_(x_max), dx_(dx) {
+  PLINGER_REQUIRE(x_max > 0.0, "BesselTable: x_max must be positive");
+  PLINGER_REQUIRE(dx > 0.0, "BesselTable: dx must be positive");
+  // One node past x_max so eval() always has a bracketing interval.
+  n_nodes_ = static_cast<std::size_t>(std::ceil(x_max / dx)) + 2;
+  const std::size_t width = l_max_ + 1;
+  j_.assign(n_nodes_ * width, 0.0);
+  jp_.assign(n_nodes_ * width, 0.0);
+
+  // Per node: j_l from the backward-stable evaluator (one extra l so the
+  // derivative recurrence j_l' = j_{l-1} - (l+1)/x j_l closes), then the
+  // exact derivative — it is what makes the Hermite interpolant O(dx^4).
+  std::vector<double> jl(width + 1, 0.0);
+  for (std::size_t i = 0; i < n_nodes_; ++i) {
+    const double x = static_cast<double>(i) * dx_;
+    double* jrow = j_.data() + i * width;
+    double* jprow = jp_.data() + i * width;
+    if (x < 1e-12) {
+      jrow[0] = 1.0;  // j_0(0) = 1, all higher l vanish
+      if (l_max_ >= 1) jprow[1] = 1.0 / 3.0;  // j_1'(0); j_0'(0) = 0
+      continue;
+    }
+    math::sph_bessel_j_array(x, jl);
+    for (std::size_t l = 0; l <= l_max_; ++l) {
+      jrow[l] = jl[l];
+      jprow[l] = (l == 0) ? -jl[1]
+                          : jl[l - 1] -
+                                (static_cast<double>(l) + 1.0) / x * jl[l];
+    }
+  }
+}
+
+void BesselTable::eval(double x, std::span<double> jl) const {
+  PLINGER_REQUIRE(!jl.empty(), "BesselTable::eval: empty output span");
+  if (jl.size() - 1 > l_max_) {
+    std::ostringstream os;
+    os << "BesselTable::eval: l = " << jl.size() - 1
+       << " is above the Bessel table range (l_max = " << l_max_ << ")";
+    throw InvalidArgument(os.str());
+  }
+  if (!(x >= 0.0) || x > x_max_) {
+    std::ostringstream os;
+    os << "BesselTable::eval: x = " << x
+       << " is outside the Bessel table range [0, " << x_max_ << "]";
+    throw InvalidArgument(os.str());
+  }
+  std::size_t i = static_cast<std::size_t>(x / dx_);
+  i = std::min(i, n_nodes_ - 2);
+  const double t = x / dx_ - static_cast<double>(i);
+  // Cubic Hermite basis on [x_i, x_{i+1}].
+  const double t2 = t * t, t3 = t2 * t;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  const std::size_t width = l_max_ + 1;
+  const double* j0 = j_.data() + i * width;
+  const double* j1 = j0 + width;
+  const double* p0 = jp_.data() + i * width;
+  const double* p1 = p0 + width;
+  for (std::size_t l = 0; l < jl.size(); ++l) {
+    jl[l] = h00 * j0[l] + h01 * j1[l] +
+            dx_ * (h10 * p0[l] + h11 * p1[l]);
+  }
+}
+
+namespace {
+
+/// The per-sample source terms of the projection integral, shared by the
+/// direct and table-driven Bessel paths.
+struct LosSources {
+  std::vector<double> tau;     ///< sample times, ascending
+  std::vector<double> s_mono;  ///< g (Theta0^N + psi) + e^{-kappa}(phi+psi)'
+  std::vector<double> s_dopp;  ///< g v_b^N
+};
+
+LosSources build_sources(const cosmo::Background& bg,
+                         const cosmo::Recombination& rec,
+                         const ModeResult& mode) {
   const auto& samples = mode.samples;
   PLINGER_REQUIRE(samples.size() >= 16,
                   "los_f_gamma: too few source samples");
   const double k = mode.k;
-  const double tau0 = mode.tau_end;
 
   // Source terms per sample (conformal Newtonian gauge).
   const std::size_t n = samples.size();
-  std::vector<double> tau(n), s_mono(n), s_dopp(n), phipsi(n), ekappa(n);
+  LosSources src;
+  src.tau.resize(n);
+  src.s_mono.resize(n);
+  src.s_dopp.resize(n);
+  std::vector<double> phipsi(n), ekappa(n);
   std::size_t hint = 0;  // samples ascend in tau; shared kappa-spline hint
   for (std::size_t j = 0; j < n; ++j) {
     const TransferSample& s = samples[j];
-    tau[j] = s.tau;
+    src.tau[j] = s.tau;
     const double adotoa = bg.adotoa(s.a);
     const double theta0_n = 0.25 * (s.delta_g - 4.0 * adotoa * s.alpha);
     const double vb_n = (s.theta_b + s.alpha * k * k) / k;
     const double g = rec.visibility(s.tau, hint);
-    s_mono[j] = g * (theta0_n + s.psi);
-    s_dopp[j] = g * vb_n;
+    src.s_mono[j] = g * (theta0_n + s.psi);
+    src.s_dopp[j] = g * vb_n;
     phipsi[j] = s.phi + s.psi;
     ekappa[j] = std::exp(-std::min(680.0, rec.kappa(s.tau, hint)));
   }
   // ISW: e^{-kappa} d(phi+psi)/dtau via a spline derivative.
-  const plinger::math::CubicSpline pp(tau, phipsi);
+  const plinger::math::CubicSpline pp(src.tau, phipsi);
   for (std::size_t j = 0; j < n; ++j) {
-    s_mono[j] += ekappa[j] * pp.derivative(tau[j]);
+    src.s_mono[j] += ekappa[j] * pp.derivative(src.tau[j]);
   }
+  return src;
+}
 
-  // Trapezoid projection onto j_l(k (tau0 - tau)).
+/// Trapezoid projection of the sources onto j_l(k (tau0 - tau)).  The
+/// Bessel evaluator is the only difference between the reference path
+/// (sph_bessel_j_array) and the fast path (BesselTable).
+template <typename FillJl>
+std::vector<double> project(const LosSources& src, double k, double tau0,
+                            std::size_t l_max, FillJl&& fill_jl) {
+  const std::size_t n = src.tau.size();
+  const auto& tau = src.tau;
   std::vector<double> theta(l_max + 1, 0.0);
   std::vector<double> jl(l_max + 2, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
@@ -89,7 +213,7 @@ std::vector<double> los_f_gamma(const cosmo::Background& bg,
         : (j == n - 1) ? 0.5 * (tau[n - 1] - tau[n - 2])
                        : 0.5 * (tau[j + 1] - tau[j - 1]);
     const double x = k * (tau0 - tau[j]);
-    plinger::math::sph_bessel_j_array(x, jl);
+    fill_jl(x, std::span<double>(jl));
     for (std::size_t l = 0; l <= l_max; ++l) {
       // j_l'(x) = j_{l-1}(x) - (l+1)/x j_l(x); j_0' = -j_1.
       double jlp;
@@ -100,13 +224,45 @@ std::vector<double> los_f_gamma(const cosmo::Background& bg,
       } else {
         jlp = (l == 1) ? 1.0 / 3.0 : 0.0;
       }
-      theta[l] += w * (s_mono[j] * jl[l] + s_dopp[j] * jlp);
+      theta[l] += w * (src.s_mono[j] * jl[l] + src.s_dopp[j] * jlp);
     }
   }
-
   // Back to the MB95 moment convention F_l = 4 Theta_l.
   for (double& t : theta) t *= 4.0;
   return theta;
+}
+
+}  // namespace
+
+std::vector<double> los_f_gamma(const cosmo::Background& bg,
+                                const cosmo::Recombination& rec,
+                                const ModeResult& mode,
+                                std::size_t l_max) {
+  const LosSources src = build_sources(bg, rec, mode);
+  return project(src, mode.k, mode.tau_end, l_max,
+                 [](double x, std::span<double> jl) {
+                   math::sph_bessel_j_array(x, jl);
+                 });
+}
+
+std::vector<double> los_f_gamma(const cosmo::Background& bg,
+                                const cosmo::Recombination& rec,
+                                const ModeResult& mode, std::size_t l_max,
+                                const BesselTable& table) {
+  // The derivative recurrence inside project() reads jl[l_max + 1], so
+  // the table must extend one l past the requested multipole.
+  if (l_max + 1 > table.l_max()) {
+    std::ostringstream os;
+    os << "los_f_gamma: l_max = " << l_max
+       << " is above the Bessel table range (table carries l <= "
+       << table.l_max() << " and the projection needs l_max + 1)";
+    throw InvalidArgument(os.str());
+  }
+  const LosSources src = build_sources(bg, rec, mode);
+  return project(src, mode.k, mode.tau_end, l_max,
+                 [&table](double x, std::span<double> jl) {
+                   table.eval(x, jl);
+                 });
 }
 
 }  // namespace plinger::boltzmann

@@ -64,9 +64,18 @@ StoreBinding bind_store(const cosmo::Background& bg,
                         RunOutput& out, TraceRecorder* recorder) {
   StoreBinding b;
   if (setup.store.path.empty()) return b;
+  // LOS runs write sample-bearing records under an LOS-extended
+  // identity, so a hierarchy journal can never cross-resume here (and
+  // vice versa): the constructor below rejects the mismatch.
   const store::RunIdentity id =
-      store::run_identity(bg.params(), cfg, schedule.k_grid(),
-                          setup.tau_end, setup.lmax_cap);
+      setup.los.enabled
+          ? store::run_identity(
+                bg.params(), cfg, schedule.k_grid(), setup.tau_end,
+                setup.lmax_cap,
+                store::LosIdentity{setup.los.lmax_evolve,
+                                   setup.los.sample_taus})
+          : store::run_identity(bg.params(), cfg, schedule.k_grid(),
+                                setup.tau_end, setup.lmax_cap);
   b.store = std::make_unique<store::ModeResultStore>(setup.store, id,
                                                      schedule.size());
   if (!setup.store.resume || b.store->n_loaded() == 0) return b;
@@ -86,6 +95,20 @@ StoreBinding bind_store(const cosmo::Background& bg,
   }
   b.residual = schedule.residual(remaining);
   return b;
+}
+
+/// Request shaping shared by the serial and autotask loops: LOS pins
+/// every mode to the short hierarchy and attaches the shared source
+/// sample times; otherwise the historical lmax_cap scaling applies.
+void shape_request(boltzmann::EvolveRequest& req, const RunSetup& setup,
+                   double tau_end) {
+  if (setup.los.enabled) {
+    req.lmax_photon = setup.los.lmax_evolve;
+    req.sample_taus = setup.los.sample_taus;
+  } else if (setup.lmax_cap > 0.0) {
+    req.lmax_photon = boltzmann::lmax_photon_for_k(
+        req.k, tau_end, static_cast<std::size_t>(setup.lmax_cap));
+  }
 }
 
 }  // namespace
@@ -121,10 +144,7 @@ RunOutput run_linger_serial(const cosmo::Background& bg,
        ik = issue.ik_next(ik)) {
     boltzmann::EvolveRequest req;
     req.k = issue.k_of_ik(ik);
-    if (setup.lmax_cap > 0.0) {
-      req.lmax_photon = boltzmann::lmax_photon_for_k(
-          req.k, tau_end, static_cast<std::size_t>(setup.lmax_cap));
-    }
+    shape_request(req, setup, tau_end);
     if (recorder) recorder->record_assign(ik, 1);
     const double t0 = recorder ? recorder->now() : 0.0;
     ModeResult r = evolver.evolve(req, tau_end);
@@ -195,11 +215,7 @@ RunOutput run_linger_autotask(const cosmo::Background& bg,
             const std::size_t ik = order[i];
             boltzmann::EvolveRequest req;
             req.k = issue.k_of_ik(ik);
-            if (setup.lmax_cap > 0.0) {
-              req.lmax_photon = boltzmann::lmax_photon_for_k(
-                  req.k, tau_end,
-                  static_cast<std::size_t>(setup.lmax_cap));
-            }
+            shape_request(req, setup, tau_end);
             if (recorder) recorder->record_assign(ik, worker);
             const double t0 = recorder ? recorder->now() : 0.0;
             ModeResult r = evolver.evolve(req, tau_end);
@@ -278,7 +294,26 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
       try {
         ModeEvolver evolver(bg, rec, cfg, cache);
         mp::PassContext ctx = mp::initpass(world, rank);
-        run_worker(ctx, schedule, evolver, recorder.get());
+        if (setup.los.enabled) {
+          // LOS shaping is host-side state the tag-1 broadcast does not
+          // carry; the EvolveFn overload lets the driver pin the short
+          // hierarchy and attach the shared sample times without any
+          // wire-protocol change.
+          run_worker(
+              ctx, schedule,
+              [&evolver, &bg, &setup](const boltzmann::EvolveRequest& req,
+                                      double tau_end) {
+                const double end =
+                    tau_end > 0.0 ? tau_end : bg.conformal_age();
+                boltzmann::EvolveRequest r = req;
+                r.lmax_photon = setup.los.lmax_evolve;
+                r.sample_taus = setup.los.sample_taus;
+                return evolver.evolve(r, end);
+              },
+              recorder.get());
+        } else {
+          run_worker(ctx, schedule, evolver, recorder.get());
+        }
         mp::endpass(ctx);
       } catch (const mp::RankKilled&) {
         // Simulated process death (fault injection): the master's

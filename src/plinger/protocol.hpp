@@ -81,6 +81,18 @@ struct FaultConfig {
   int max_reassignments = 3;
 };
 
+/// Host-side line-of-sight run shaping (solver=los in the run layer):
+/// every request is pinned to the same short hierarchy and the same
+/// source sample times, and the projection happens master-side after
+/// the run.  Never broadcast — the Appendix-A wire carries the sample-
+/// bearing records (plinger/records.hpp version 2) without any
+/// protocol change.
+struct LosRunSpec {
+  bool enabled = false;
+  std::size_t lmax_evolve = 0;       ///< short hierarchy for every mode
+  std::vector<double> sample_taus;   ///< shared source sample times
+};
+
 /// Run setup broadcast with tag 1 — "a few quantities ... such as the
 /// time at which to end the evolution and the maximum number of angular
 /// moments l to compute"; 5 doubles as in the paper's parentsub.
@@ -115,6 +127,11 @@ struct RunSetup {
   /// Must have been built from the same Background/Recombination the
   /// driver is called with.  Never broadcast.
   std::shared_ptr<const cosmo::ThermoCache> thermo;
+
+  /// Host-side line-of-sight shaping; never broadcast.  When enabled,
+  /// the drivers pin every request to los.lmax_evolve and attach
+  /// los.sample_taus, and lmax_cap shaping is bypassed.
+  LosRunSpec los;
 
   std::array<double, 5> to_buffer() const;
   static RunSetup from_buffer(std::span<const double> b);

@@ -40,7 +40,12 @@ std::vector<double> pack_payload(std::size_t ik, const ModeResult& r) {
   PLINGER_REQUIRE(r.f_gamma.size() == r.lmax + 1,
                   "pack_payload: f_gamma size mismatch");
   const std::size_t lmax_pol = r.g_gamma.size() - 1;
-  std::vector<double> y(payload_length(r.lmax, lmax_pol), 0.0);
+  const std::size_t n_samples = r.samples.size();
+  const bool with_samples = n_samples > 0;
+  std::vector<double> y(with_samples
+                            ? payload_length_los(r.lmax, lmax_pol, n_samples)
+                            : payload_length(r.lmax, lmax_pol),
+                        0.0);
   y[0] = static_cast<double>(ik);
   y[1] = r.k;
   y[2] = static_cast<double>(r.lmax);
@@ -48,11 +53,36 @@ std::vector<double> pack_payload(std::size_t ik, const ModeResult& r) {
   y[4] = r.tau_init;
   y[5] = r.tau_switch;
   y[6] = r.tau_end;
-  y[7] = 0.0;  // reserved
+  y[7] = with_samples ? kPayloadWithSamples : kPayloadClassic;
   std::size_t at = 8;
   for (double v : r.f_gamma) y[at++] = v;
   for (double v : r.g_gamma) y[at++] = v;
+  if (with_samples) {
+    y[at++] = static_cast<double>(n_samples);
+    for (const TransferSample& s : r.samples) {
+      y[at++] = s.tau;
+      y[at++] = s.a;
+      y[at++] = s.delta_c;
+      y[at++] = s.delta_b;
+      y[at++] = s.delta_g;
+      y[at++] = s.delta_nu;
+      y[at++] = s.delta_m;
+      y[at++] = s.theta_b;
+      y[at++] = s.theta_g;
+      y[at++] = s.eta;
+      y[at++] = s.h;
+      y[at++] = s.phi;
+      y[at++] = s.psi;
+      y[at++] = s.alpha;
+      y[at++] = s.pi_pol;
+    }
+  }
   return y;
+}
+
+double payload_version(const std::vector<double>& payload) {
+  PLINGER_REQUIRE(payload.size() >= 8, "payload_version: bad record");
+  return payload[7];
 }
 
 std::size_t header_lmax(const std::vector<double>& header) {
@@ -99,13 +129,49 @@ ModeResult unpack_records(const std::vector<double>& header,
       static_cast<std::size_t>(std::llround(payload[0]));
   PLINGER_REQUIRE(ik2 == ik, "unpack_records: header/payload ik mismatch");
   const std::size_t lmax_pol = payload_lmax_pol(payload);
-  PLINGER_REQUIRE(payload.size() == payload_length(r.lmax, lmax_pol),
-                  "unpack_records: bad payload length");
+  const double version = payload_version(payload);
+  PLINGER_REQUIRE(version == kPayloadClassic ||
+                      version == kPayloadWithSamples,
+                  "unpack_records: unknown payload record version");
+  const std::size_t base = payload_length(r.lmax, lmax_pol);
+  if (version == kPayloadClassic) {
+    PLINGER_REQUIRE(payload.size() == base,
+                    "unpack_records: bad payload length");
+  } else {
+    PLINGER_REQUIRE(payload.size() >= base + 1,
+                    "unpack_records: truncated sample-bearing payload");
+  }
   r.tau_init = payload[4];
   r.f_gamma.assign(payload.begin() + 8,
                    payload.begin() + 8 + static_cast<long>(r.lmax) + 1);
   r.g_gamma.assign(payload.begin() + 8 + static_cast<long>(r.lmax) + 1,
-                   payload.end());
+                   payload.begin() + static_cast<long>(base));
+  if (version == kPayloadWithSamples) {
+    const std::size_t n_samples =
+        static_cast<std::size_t>(std::llround(payload[base]));
+    PLINGER_REQUIRE(
+        payload.size() == payload_length_los(r.lmax, lmax_pol, n_samples),
+        "unpack_records: bad sample-bearing payload length");
+    r.samples.resize(n_samples);
+    std::size_t at = base + 1;
+    for (TransferSample& s : r.samples) {
+      s.tau = payload[at++];
+      s.a = payload[at++];
+      s.delta_c = payload[at++];
+      s.delta_b = payload[at++];
+      s.delta_g = payload[at++];
+      s.delta_nu = payload[at++];
+      s.delta_m = payload[at++];
+      s.theta_b = payload[at++];
+      s.theta_g = payload[at++];
+      s.eta = payload[at++];
+      s.h = payload[at++];
+      s.phi = payload[at++];
+      s.psi = payload[at++];
+      s.alpha = payload[at++];
+      s.pi_pol = payload[at++];
+    }
+  }
   return r;
 }
 

@@ -16,6 +16,21 @@
 ///    message-economics discussion (max ~80 kB at lmax ~ 5000).
 ///
 /// Pack/unpack are exact inverses; the protocol tests round-trip them.
+///
+/// Payload versions.  Preamble slot y[7] (reserved and always 0.0 since
+/// the first release) is now the record version:
+///
+///  * 0.0 — classic hierarchy payload, bit-identical to every record
+///    ever written (pre-refactor journals still parse and resume).
+///  * 2.0 — line-of-sight payload: the classic layout followed by
+///    [n_samples] and n_samples * kSampleStride doubles of
+///    TransferSample data recorded at los_sample_taus().  Written
+///    whenever the mode carried samples; the short-hierarchy sources
+///    ride the same wire/journal machinery as full-hierarchy moments.
+///
+/// pack_payload() picks the version from ModeResult::samples, so
+/// hierarchy runs keep emitting version-0 bits; unpack_records()
+/// dispatches on y[7] and rejects versions it does not know.
 
 #include <cstddef>
 #include <vector>
@@ -27,21 +42,43 @@ namespace plinger::parallel {
 /// Number of doubles in the tag-4 header record.
 inline constexpr std::size_t kHeaderLength = 21;
 
-/// Payload length in doubles for given hierarchy sizes.
+/// Preamble slot y[7] values: the payload record version.
+inline constexpr double kPayloadClassic = 0.0;
+inline constexpr double kPayloadWithSamples = 2.0;
+
+/// Doubles per serialized TransferSample (declaration order: tau, a,
+/// delta_c, delta_b, delta_g, delta_nu, delta_m, theta_b, theta_g, eta,
+/// h, phi, psi, alpha, pi_pol).
+inline constexpr std::size_t kSampleStride = 15;
+
+/// Payload length in doubles for given hierarchy sizes (version 0).
 inline constexpr std::size_t payload_length(std::size_t lmax,
                                             std::size_t lmax_pol) {
   return 8 + (lmax + 1) + (lmax_pol + 1);
 }
 
+/// Payload length in doubles for a sample-bearing record (version 2).
+inline constexpr std::size_t payload_length_los(std::size_t lmax,
+                                                std::size_t lmax_pol,
+                                                std::size_t n_samples) {
+  return payload_length(lmax, lmax_pol) + 1 + kSampleStride * n_samples;
+}
+
+/// Record version of a packed payload (preamble slot y[7]).
+double payload_version(const std::vector<double>& payload);
+
 /// Pack the tag-4 header for work item ik.
 std::vector<double> pack_header(std::size_t ik,
                                 const boltzmann::ModeResult& result);
 
-/// Pack the tag-5 payload.
+/// Pack the tag-5 payload.  Emits a classic (version 0) record when the
+/// result carries no samples — bit-identical to every pre-LOS record —
+/// and a sample-bearing version-2 record otherwise.
 std::vector<double> pack_payload(std::size_t ik,
                                  const boltzmann::ModeResult& result);
 
-/// Reassemble a ModeResult (sans samples) from the two records.
+/// Reassemble a ModeResult from the two records: version 0 restores
+/// everything but samples, version 2 restores the samples too.
 /// Returns the work index ik through the out-parameter.
 boltzmann::ModeResult unpack_records(const std::vector<double>& header,
                                      const std::vector<double>& payload,

@@ -1,5 +1,6 @@
 #include "run/config.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -50,6 +51,40 @@ bool parse_bool(const char* key, const std::string& s) {
   return parse_double(key, s) != 0.0;  // the historical 0/1 convention
 }
 
+/// Levenshtein edit distance, for did-you-mean diagnostics.  The
+/// vocabularies here are tiny (a handful of enum values, ~40 table
+/// keys), so the O(len^2) two-row form is plenty.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// The closest candidate within an edit distance of 2 (and closer than
+/// the whole word is long), or "" when nothing is worth suggesting.
+template <typename Range>
+std::string closest_within_two(const std::string& v, const Range& range) {
+  std::string best;
+  std::size_t best_d = 3;
+  for (const auto& cand : range) {
+    const std::string c(cand);
+    const std::size_t d = edit_distance(v, c);
+    if (d < best_d && d < c.size()) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
 void require_choice(const char* key, const std::string& v,
                     std::initializer_list<const char*> allowed) {
   for (const char* a : allowed) {
@@ -63,6 +98,10 @@ void require_choice(const char* key, const std::string& v,
     first = false;
   }
   os << "}";
+  const std::string suggestion = closest_within_two(v, allowed);
+  if (!suggestion.empty()) {
+    os << "; did you mean '" << suggestion << "'?";
+  }
   throw InvalidArgument(os.str());
 }
 
@@ -184,6 +223,21 @@ const KeyImpl kKeys[] = {
                        "end of evolution [Mpc]; 0 = the conformal age"),
     PLINGER_KEY_DOUBLE("lmax_cap", lmax_cap, "12000",
                        "cap on the k-dependent photon hierarchy"),
+    // --- solver ---
+    PLINGER_KEY_CHOICE("solver", solver, "hierarchy",
+                       "hierarchy (full Boltzmann tower, the golden "
+                       "reference) / los (short hierarchy + line-of-"
+                       "sight projection; held to the hierarchy by the "
+                       "ctest accuracy gate)",
+                       "hierarchy", "los"),
+    PLINGER_KEY_CHOICE("los_accuracy", los_accuracy, "standard",
+                       "LOS sampling tier: draft / standard / high "
+                       "(sets lmax_evolve and the source sample "
+                       "counts; solver = los only)",
+                       "draft", "standard", "high"),
+    PLINGER_KEY_DOUBLE("tca_eps", tca_eps, "0.008",
+                       "tight-coupling exit threshold (smaller = exit "
+                       "earlier = slower but tighter)"),
     // --- driver ---
     PLINGER_KEY_CHOICE("driver", driver, "threads",
                        "run driver: serial (LINGER) / autotask (shared "
@@ -278,6 +332,20 @@ void RunConfig::validate() const {
   PLINGER_REQUIRE(lmax_neutrino >= 4, "lmax_neutrino must be >= 4");
   PLINGER_REQUIRE(tau_end >= 0.0, "tau_end must be >= 0 (0 = conformal age)");
   PLINGER_REQUIRE(lmax_cap >= 12.0, "lmax_cap must be >= 12");
+  require_choice("solver", solver, {"hierarchy", "los"});
+  require_choice("los_accuracy", los_accuracy,
+                 {"draft", "standard", "high"});
+  PLINGER_REQUIRE(tca_eps > 0.0 && tca_eps <= 0.1,
+                  "tca_eps out of range (0, 0.1]");
+  if (solver == "los") {
+    const boltzmann::LosOptions lopts = los_options();
+    boltzmann::validate_los_options(lopts);
+    // The short hierarchy replaces lmax_photon per mode, so the
+    // polarization tower must fit under it, not under lmax_photon.
+    PLINGER_REQUIRE(lmax_polarization <= lopts.lmax_evolve,
+                    "solver = los: lmax_polarization exceeds the los_"
+                    "accuracy tier's lmax_evolve");
+  }
   PLINGER_REQUIRE(workers >= 1, "workers must be >= 1");
   PLINGER_REQUIRE(fault_timeout >= 0.0, "fault_timeout must be >= 0");
   PLINGER_REQUIRE(max_retries >= 0, "max_retries must be >= 0");
@@ -324,8 +392,13 @@ boltzmann::PerturbationConfig RunConfig::perturbation() const {
   cfg.lmax_photon = lmax_photon;
   cfg.lmax_polarization = lmax_polarization;
   cfg.lmax_neutrino = lmax_neutrino;
+  cfg.tca_eps = tca_eps;
   if (n_massive_nu > 0) cfg.n_q = 16;  // the NuDensity default
   return cfg;
+}
+
+boltzmann::LosOptions RunConfig::los_options() const {
+  return boltzmann::los_options_for_accuracy(los_accuracy);
 }
 
 cosmo::Recombination::Options RunConfig::recombination_options() const {
@@ -374,6 +447,13 @@ ConfigParse parse_config(const io::KeyValueMap& kv) {
 std::span<const ConfigKey> config_keys() {
   static const std::vector<ConfigKey> rows = make_doc_rows();
   return rows;
+}
+
+std::string config_key_suggestion(const std::string& unknown) {
+  std::vector<std::string> names;
+  names.reserve(kNKeys);
+  for (const KeyImpl& k : kKeys) names.emplace_back(k.doc.key);
+  return closest_within_two(unknown, names);
 }
 
 std::string config_reference_markdown() {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "boltzmann/config.hpp"
+#include "boltzmann/los.hpp"
 #include "cosmo/params.hpp"
 #include "cosmo/recombination.hpp"
 #include "io/params.hpp"
@@ -80,6 +81,15 @@ struct RunConfig {
   double tau_end = 0.0;    ///< 0 selects the conformal age
   double lmax_cap = 12000;  ///< k-dependent photon hierarchy cap
 
+  // --- solver ---
+  /// hierarchy (full Boltzmann tower, the golden reference) | los
+  /// (short hierarchy + line-of-sight projection; the fast path, held
+  /// to the hierarchy by the ctest `accuracy` gate).
+  std::string solver = "hierarchy";
+  std::string los_accuracy = "standard";  ///< draft | standard | high
+  /// Tight-coupling exit threshold; the PerturbationConfig default.
+  double tca_eps = 8e-3;
+
   // --- driver ---
   std::string driver = "threads";  ///< serial | autotask | threads
   int workers = 2;
@@ -121,6 +131,10 @@ struct RunConfig {
   /// Materialize the recombination options (z_reion).
   cosmo::Recombination::Options recombination_options() const;
 
+  /// Materialize the line-of-sight options named by `los_accuracy`
+  /// (meaningful when solver = los).
+  boltzmann::LosOptions los_options() const;
+
   /// The schedule issue order named by `order`.
   parallel::IssueOrder issue_order() const;
 
@@ -161,5 +175,11 @@ std::span<const ConfigKey> config_keys();
 /// config_keys(); a ctest check keeps the committed docs identical to
 /// this output.
 std::string config_reference_markdown();
+
+/// Did-you-mean helper for unknown-key diagnostics: the table key
+/// closest to `unknown` in edit distance, or "" when nothing is close
+/// enough to suggest.  linger_cli uses this to turn "unrecognized key
+/// 'sover'" into an actionable warning.
+std::string config_key_suggestion(const std::string& unknown);
 
 }  // namespace plinger::run

@@ -42,9 +42,23 @@ RunPlan::RunPlan(RunConfig cfg, std::shared_ptr<const RunContext> ctx)
   // setup_.rtol stays at its wire default: the integrator tolerance is
   // carried by the perturbation config (the historical wiring), and the
   // broadcast slot is a worker cross-check only.
+  if (cfg_.solver == "los") {
+    const boltzmann::LosOptions lopts = cfg_.los_options();
+    setup_.los.enabled = true;
+    setup_.los.lmax_evolve = lopts.lmax_evolve;
+    setup_.los.sample_taus = boltzmann::los_sample_taus(
+        ctx_->background(), ctx_->recombination(), lopts);
+  }
 }
 
 store::RunIdentity RunPlan::identity() const {
+  if (setup_.los.enabled) {
+    return store::run_identity(
+        ctx_->params(), pcfg_, schedule_.k_grid(), setup_.tau_end,
+        setup_.lmax_cap,
+        store::LosIdentity{setup_.los.lmax_evolve,
+                           setup_.los.sample_taus});
+  }
   return store::run_identity(ctx_->params(), pcfg_, schedule_.k_grid(),
                              setup_.tau_end, setup_.lmax_cap);
 }
@@ -57,8 +71,13 @@ double RunPlan::estimated_cost() const {
   const auto cap = static_cast<std::size_t>(setup_.lmax_cap);
   double cost = 0.0;
   for (double k : schedule_.k_grid()) {
-    const double lmax = static_cast<double>(
-        boltzmann::lmax_photon_for_k(k, tau0, cap));
+    // LOS pins every mode to the same short hierarchy; the step count
+    // still scales with the oscillations.
+    const double lmax =
+        setup_.los.enabled
+            ? static_cast<double>(setup_.los.lmax_evolve)
+            : static_cast<double>(
+                  boltzmann::lmax_photon_for_k(k, tau0, cap));
     cost += (k * tau0 + 60.0) * lmax;
   }
   return cost;

@@ -1,7 +1,9 @@
 #include "run/products.hpp"
 
+#include <algorithm>
 #include <fstream>
 
+#include "boltzmann/los.hpp"
 #include "common/error.hpp"
 #include "io/ascii_table.hpp"
 #include "io/fortran_binary.hpp"
@@ -17,6 +19,34 @@ SpectrumSet make_spectra(const RunPlan& plan,
   primordial.n_s = plan.config().n_s;
   spectra::ClAccumulator acc(l_max, primordial);
   const parallel::KSchedule& schedule = plan.schedule();
+  if (plan.setup().los.enabled) {
+    // The master-side half of solver = los: project each mode's
+    // recorded sources onto F_l through one shared Bessel table.  Only
+    // the temperature moments are projected — the LOS sources neglect
+    // the polarization (Pi) terms, so C_l^P and C_l^TP stay zero and
+    // the accuracy gate pins the temperature error that neglect costs.
+    double x_max = 1.0;
+    for (const auto& [ik, r] : out.results) {
+      (void)ik;
+      x_max = std::max(x_max, r.k * r.tau_end);
+    }
+    const boltzmann::BesselTable table(l_max + 1, x_max);
+    const cosmo::Background& bg = plan.context().background();
+    const cosmo::Recombination& rec = plan.context().recombination();
+    for (const auto& [ik, r] : out.results) {
+      const std::vector<double> f_gamma =
+          boltzmann::los_f_gamma(bg, rec, r, l_max, table);
+      acc.add_mode(r.k, schedule.weight_of_ik(ik), f_gamma);
+    }
+    SpectrumSet s;
+    s.temperature = acc.temperature();
+    s.polarization = acc.polarization();
+    s.cross = acc.cross();
+    s.modes_used = acc.modes_added();
+    s.cobe_factor = spectra::normalize_to_cobe_quadrupole(
+        s.temperature, q_rms_ps, plan.context().params().t_cmb);
+    return s;
+  }
   for (const auto& [ik, r] : out.results) {
     const double w = schedule.weight_of_ik(ik);
     acc.add_mode(r.k, w, r.f_gamma);

@@ -33,6 +33,12 @@ struct SpectrumSet {
 /// Assemble C_l^T, C_l^P, C_l^TP from the photon moments and pin the
 /// temperature quadrupole to COBE (q_rms_ps in Kelvin; the paper's
 /// 18 uK default).  l_max = 0 takes the plan's l_max.
+///
+/// Under solver = los, each mode's F_l is projected here, master-side,
+/// from the recorded sources via a shared BesselTable (boltzmann/
+/// los.hpp); polarization and cross stay zero because the LOS sources
+/// neglect the Pi terms.  The projection is deterministic, so a
+/// resumed LOS run reproduces an uninterrupted one bit for bit.
 SpectrumSet make_spectra(const RunPlan& plan,
                          const parallel::RunOutput& out,
                          std::size_t l_max = 0, double q_rms_ps = 18e-6);

@@ -79,4 +79,20 @@ RunIdentity run_identity(const cosmo::CosmoParams& params,
   return RunIdentity{h.digest()};
 }
 
+RunIdentity run_identity(const cosmo::CosmoParams& params,
+                         const boltzmann::PerturbationConfig& cfg,
+                         std::span<const double> k_grid, double tau_end,
+                         double lmax_cap, const LosIdentity& los) {
+  Hasher h;
+  // Start from the exact base identity so the LOS hash inherits every
+  // physics input, then salt with a distinct record-family tag: the
+  // same config hashed as hierarchy vs LOS can never collide.
+  h.add(run_identity(params, cfg, k_grid, tau_end, lmax_cap).value);
+  h.add(std::uint64_t{2});  // LOS record-family salt
+  h.add(static_cast<std::uint64_t>(los.lmax_evolve));
+  h.add(static_cast<std::uint64_t>(los.sample_taus.size()));
+  for (const double t : los.sample_taus) h.add(t);
+  return RunIdentity{h.digest()};
+}
+
 }  // namespace plinger::store

@@ -19,6 +19,7 @@
 /// legacy hand-rolled wiring and the hash value itself, so journals
 /// written by pre-RunConfig entry points keep resuming.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
@@ -44,5 +45,24 @@ RunIdentity run_identity(const cosmo::CosmoParams& params,
                          const boltzmann::PerturbationConfig& cfg,
                          std::span<const double> k_grid, double tau_end,
                          double lmax_cap);
+
+/// The line-of-sight inputs that shape a solver=los run's records: the
+/// short-hierarchy size every request is pinned to and the shared source
+/// sample times.  Hashed on top of the base identity so a journal of
+/// sample-bearing records can never cross-resume with a hierarchy
+/// journal (or with an LOS journal of different sampling).
+struct LosIdentity {
+  std::size_t lmax_evolve = 0;
+  std::span<const double> sample_taus;
+};
+
+/// Identity of a line-of-sight run: the base hash over the same inputs,
+/// extended with an LOS salt and the LosIdentity fields.  The base
+/// overload is untouched, so every existing hierarchy journal keeps its
+/// stamp and keeps resuming.
+RunIdentity run_identity(const cosmo::CosmoParams& params,
+                         const boltzmann::PerturbationConfig& cfg,
+                         std::span<const double> k_grid, double tau_end,
+                         double lmax_cap, const LosIdentity& los);
 
 }  // namespace plinger::store

@@ -317,6 +317,7 @@ JournalScan ModeResultStore::scan(const std::string& path) {
     boltzmann::ModeResult r;
     if (!parse_mode_record(rec, ik, r)) break;
     s.iks.push_back(ik);
+    if (!r.samples.empty()) ++s.n_los_records;
     s.good_bytes = raw.offset();
   }
   s.torn_tail = s.good_bytes < file_size;

@@ -1,10 +1,14 @@
 #include "boltzmann/los.hpp"
 
 #include <cmath>
+#include <span>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "math/bessel.hpp"
 
 namespace pb = plinger::boltzmann;
 namespace pc = plinger::cosmo;
@@ -94,4 +98,164 @@ TEST(LineOfSight, RequiresSources) {
   empty.tau_end = w.bg.conformal_age();
   EXPECT_THROW(pb::los_f_gamma(w.bg, w.rec, empty, 50),
                plinger::InvalidArgument);
+}
+
+namespace {
+/// The thrown message must name the offending field — these errors
+/// surface through run-config validation, where "los: something wrong"
+/// without the field name is useless.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const plinger::InvalidArgument& e) {
+    return e.what();
+  }
+  return {};
+}
+}  // namespace
+
+TEST(LineOfSightOptions, ValidateNamesTheOffendingField) {
+  pb::LosOptions o;
+
+  o.lmax_evolve = pb::kLosMinLmaxEvolve - 1;
+  EXPECT_NE(thrown_message([&] { pb::validate_los_options(o); })
+                .find("lmax_evolve"),
+            std::string::npos);
+
+  o = pb::LosOptions{};
+  o.n_rec_samples = 1;  // a one-point "window" is degenerate
+  EXPECT_NE(thrown_message([&] { pb::validate_los_options(o); })
+                .find("n_rec_samples"),
+            std::string::npos);
+
+  o = pb::LosOptions{};
+  o.n_late_samples = 0;  // no ISW window at all
+  EXPECT_NE(thrown_message([&] { pb::validate_los_options(o); })
+                .find("n_late_samples"),
+            std::string::npos);
+
+  o = pb::LosOptions{};
+  o.rec_width_sigmas = 0.0;  // collapsed visibility window
+  EXPECT_NE(thrown_message([&] { pb::validate_los_options(o); })
+                .find("rec_width_sigmas"),
+            std::string::npos);
+}
+
+TEST(LineOfSightOptions, SampleTausValidateBeforeSampling) {
+  // A degenerate window must be rejected up front, not turned into an
+  // empty or non-monotone tau list that NaNs the projection later.
+  const auto& w = world();
+  pb::LosOptions o;
+  o.n_rec_samples = 0;
+  EXPECT_THROW(pb::los_sample_taus(w.bg, w.rec, o),
+               plinger::InvalidArgument);
+  o = pb::LosOptions{};
+  o.rec_width_sigmas = -1.0;
+  EXPECT_THROW(pb::los_sample_taus(w.bg, w.rec, o),
+               plinger::InvalidArgument);
+}
+
+TEST(LineOfSightOptions, AccuracyTiersAreOrderedAndValid) {
+  const auto draft = pb::los_options_for_accuracy("draft");
+  const auto standard = pb::los_options_for_accuracy("standard");
+  const auto high = pb::los_options_for_accuracy("high");
+  EXPECT_EQ(standard, pb::LosOptions{});  // "standard" IS the default
+  EXPECT_LT(draft.lmax_evolve, standard.lmax_evolve);
+  EXPECT_LT(standard.lmax_evolve, high.lmax_evolve);
+  EXPECT_LT(draft.n_rec_samples, standard.n_rec_samples);
+  EXPECT_LT(standard.n_rec_samples, high.n_rec_samples);
+  // Every named tier passes its own validation.
+  EXPECT_NO_THROW(pb::validate_los_options(draft));
+  EXPECT_NO_THROW(pb::validate_los_options(high));
+  EXPECT_THROW(pb::los_options_for_accuracy("ultra"),
+               plinger::InvalidArgument);
+}
+
+TEST(LineOfSight, TooFewSourceSamplesErrorsCleanly) {
+  // A mode evolved with a sample list that mostly fell outside its
+  // integration window carries a handful of samples — not enough to
+  // resolve the visibility peak.  The projection must say so, not
+  // quietly integrate garbage.
+  const auto& w = world();
+  pb::ModeResult mode;
+  mode.k = 0.01;
+  mode.tau_end = w.bg.conformal_age();
+  mode.samples.resize(8);
+  EXPECT_THROW(pb::los_f_gamma(w.bg, w.rec, mode, 50),
+               plinger::InvalidArgument);
+}
+
+TEST(BesselTableTest, RejectsLAboveTableRange) {
+  const pb::BesselTable table(12, 40.0);
+  EXPECT_EQ(table.l_max(), 12u);
+  std::vector<double> jl(15);  // l = 14 > l_max = 12
+  const std::string msg =
+      thrown_message([&] { table.eval(1.0, std::span<double>(jl)); });
+  EXPECT_NE(msg.find("above the Bessel table range"), std::string::npos);
+}
+
+TEST(BesselTableTest, RejectsXOutsideTableRange) {
+  const pb::BesselTable table(12, 40.0);
+  std::vector<double> jl(13);
+  EXPECT_THROW(table.eval(-0.5, std::span<double>(jl)),
+               plinger::InvalidArgument);
+  EXPECT_THROW(table.eval(40.5, std::span<double>(jl)),
+               plinger::InvalidArgument);
+  EXPECT_NO_THROW(table.eval(0.0, std::span<double>(jl)));
+  EXPECT_NO_THROW(table.eval(40.0, std::span<double>(jl)));
+}
+
+TEST(BesselTableTest, ProjectionRejectsLmaxAboveTable) {
+  // The table overload needs l_max + 1 tabled multipoles (the j_l'
+  // recurrence reads one l past the request) and must say which range
+  // the table actually carries.  Checked before the sources are built,
+  // so an empty mode exercises it.
+  const auto& w = world();
+  pb::ModeResult mode;
+  mode.k = 0.01;
+  mode.tau_end = w.bg.conformal_age();
+  const pb::BesselTable table(20, 10.0);
+  const std::string msg = thrown_message(
+      [&] { (void)pb::los_f_gamma(w.bg, w.rec, mode, 20, table); });
+  EXPECT_NE(msg.find("above the Bessel table range"), std::string::npos);
+}
+
+TEST(BesselTableTest, InterpolatesBesselToTabulatedAccuracy) {
+  // Off-node evaluation must hold the ~1e-6 Hermite accuracy the
+  // projection budget assumes.
+  const pb::BesselTable table(40, 60.0);
+  std::vector<double> jl(41), ref(42);
+  for (double x : {0.03, 1.7, 13.41, 29.993, 59.99}) {
+    table.eval(x, std::span<double>(jl));
+    plinger::math::sph_bessel_j_array(x, std::span<double>(ref));
+    for (std::size_t l = 0; l <= 40; ++l) {
+      EXPECT_NEAR(jl[l], ref[l], 2e-6) << "l=" << l << " x=" << x;
+    }
+  }
+}
+
+TEST(BesselTableTest, TablePathMatchesDirectProjection) {
+  // The production (shared-table) projection and the reference
+  // (direct-evaluation) projection are the same integral; the only
+  // difference is Bessel interpolation error.
+  const auto& w = world();
+  pb::ModeEvolver ev(w.bg, w.rec, w.cfg);
+  pb::EvolveRequest req;
+  req.k = 0.02;
+  req.lmax_photon = 40;
+  req.sample_taus = w.taus;
+  const auto mode = ev.evolve(req);
+
+  const std::size_t l_max = 120;
+  const auto direct = pb::los_f_gamma(w.bg, w.rec, mode, l_max);
+  const pb::BesselTable table(l_max + 1, mode.k * mode.tau_end);
+  const auto tabled = pb::los_f_gamma(w.bg, w.rec, mode, l_max, table);
+  ASSERT_EQ(direct.size(), tabled.size());
+  double scale = 0.0;
+  for (const double v : direct) scale = std::max(scale, std::abs(v));
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t l = 2; l <= l_max; ++l) {
+    EXPECT_NEAR(tabled[l], direct[l], 1e-4 * scale) << "l=" << l;
+  }
 }

@@ -1,0 +1,157 @@
+// The solver accuracy gate: solver=los vs solver=hierarchy, per l.
+//
+// The line-of-sight fast path earns its >=10x per-mode speedup by
+// evolving a short hierarchy and projecting sources — an approximation
+// (finite source sampling, neglected polarization feedback in the
+// projection) whose error must be *pinned*, not assumed.  For each
+// cosmology preset this suite runs both solvers over the same cl-grid,
+// forms the raw (un-normalized) C_l^TT of each, and asserts the
+// relative error at every l stays under a committed per-l envelope.
+//
+// The envelope fixtures live next to the golden fixtures and are
+// regenerated with:
+//   PLINGER_REGEN_ACCURACY=1 ctest -L accuracy
+// (or by running ./build/tests/test_accuracy directly).  Regeneration
+// writes envelope = kEnvelopeMargin * observed error (floored at
+// kEnvelopeFloor so IEEE-level jitter cannot trip the gate) and itself
+// asserts the observed error never exceeds kSanityCeiling — a regen
+// cannot launder a broken projection into a passing fixture.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/ascii_table.hpp"
+#include "run/config.hpp"
+#include "run/context.hpp"
+#include "run/plan.hpp"
+#include "run/products.hpp"
+
+namespace pr = plinger::run;
+
+namespace {
+
+constexpr std::size_t kLMax = 160;
+constexpr double kEnvelopeMargin = 1.5;  ///< regen headroom over observed
+constexpr double kEnvelopeFloor = 0.005; ///< don't pin below 0.5%
+constexpr double kSanityCeiling = 0.20;  ///< even regen refuses >20% error
+
+std::string envelope_path(const std::string& preset) {
+  return std::string(PLINGER_GOLDEN_DIR) + "/accuracy_envelope_" + preset +
+         ".txt";
+}
+
+bool regen_requested() {
+  const char* regen = std::getenv("PLINGER_REGEN_ACCURACY");
+  return regen != nullptr && std::string(regen) != "0";
+}
+
+pr::RunConfig base_config(const std::string& preset) {
+  pr::RunConfig cfg;
+  cfg.set_preset(preset);
+  cfg.grid = "cl";
+  cfg.l_max = kLMax;
+  cfg.points_per_osc = 2.0;
+  cfg.lmax_polarization = 12;
+  cfg.lmax_neutrino = 16;
+  cfg.driver = "serial";  // deterministic; scheduling cannot shift bits
+  return cfg;
+}
+
+/// Raw (COBE normalization divided back out) C_l^TT of one solver.
+std::vector<double> raw_cl_tt(const pr::RunConfig& cfg,
+                              std::shared_ptr<const pr::RunContext> ctx) {
+  const pr::RunPlan plan(cfg, ctx);
+  const auto out = plan.execute();
+  const auto spec = pr::make_spectra(plan, out, kLMax);
+  std::vector<double> cl = spec.temperature.cl;
+  for (double& c : cl) c /= spec.cobe_factor;
+  return cl;
+}
+
+/// Per-l relative error of the LOS spectrum against the hierarchy
+/// reference, l = 2..kLMax, computed once per preset (both runs share
+/// one context, i.e. one thermo cache — exactly how a production batch
+/// would compare them).
+const std::vector<double>& rel_errors(const std::string& preset) {
+  static std::map<std::string, std::vector<double>> cache;
+  const auto it = cache.find(preset);
+  if (it != cache.end()) return it->second;
+
+  pr::RunConfig hier = base_config(preset);
+  pr::RunConfig los = base_config(preset);
+  los.solver = "los";
+  los.los_accuracy = "standard";
+  const auto ctx = pr::make_context(hier);
+  const std::vector<double> ref = raw_cl_tt(hier, ctx);
+  const std::vector<double> fast = raw_cl_tt(los, ctx);
+
+  std::vector<double> rel(kLMax + 1, 0.0);
+  for (std::size_t l = 2; l <= kLMax; ++l) {
+    rel[l] = std::abs(fast[l] - ref[l]) / std::abs(ref[l]);
+  }
+  return cache.emplace(preset, std::move(rel)).first->second;
+}
+
+class SolverAccuracy : public ::testing::TestWithParam<const char*> {};
+
+}  // namespace
+
+TEST_P(SolverAccuracy, RegenerateEnvelopeIfRequested) {
+  if (!regen_requested()) {
+    GTEST_SKIP() << "set PLINGER_REGEN_ACCURACY=1 to rewrite the envelope";
+  }
+  const std::string preset = GetParam();
+  const std::vector<double>& rel = rel_errors(preset);
+  double worst = 0.0;
+  std::ofstream os(envelope_path(preset));
+  ASSERT_TRUE(os.is_open()) << envelope_path(preset);
+  plinger::io::AsciiTableWriter table(os, {"l", "max_rel"}, 17);
+  for (std::size_t l = 2; l <= kLMax; ++l) {
+    // Even at regen time a projection this far off the hierarchy is a
+    // bug, not a looser envelope.
+    ASSERT_LE(rel[l], kSanityCeiling) << preset << " l=" << l;
+    worst = std::max(worst, rel[l]);
+    const double cap =
+        std::max(kEnvelopeFloor, kEnvelopeMargin * rel[l]);
+    const double row[] = {static_cast<double>(l), cap};
+    table.row(row);
+  }
+  std::printf("accuracy[%s]: worst observed rel error %.4f\n",
+              preset.c_str(), worst);
+}
+
+TEST_P(SolverAccuracy, LosClWithinPinnedEnvelope) {
+  if (regen_requested()) GTEST_SKIP() << "regenerating";
+  const std::string preset = GetParam();
+  std::ifstream is(envelope_path(preset));
+  ASSERT_TRUE(is.is_open())
+      << envelope_path(preset)
+      << " missing - run with PLINGER_REGEN_ACCURACY=1";
+  const auto rows = plinger::io::read_ascii_table(is);
+  ASSERT_EQ(rows.size(), kLMax - 1) << "l range changed; regenerate";
+
+  const std::vector<double>& rel = rel_errors(preset);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.size(), 2u);
+    const auto l = static_cast<std::size_t>(row[0]);
+    ASSERT_GE(l, 2u);
+    ASSERT_LE(l, kLMax);
+    // The committed envelope is itself bounded: a regen that needed
+    // more than the ceiling would have refused to write it.
+    ASSERT_LE(row[1], kEnvelopeMargin * kSanityCeiling + 1e-12);
+    EXPECT_LE(rel[l], row[1])
+        << preset << ": C_l^TT drifted past the pinned envelope at l="
+        << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, SolverAccuracy,
+                         ::testing::Values("scdm", "lcdm", "mdm"));

@@ -110,6 +110,89 @@ TEST(RunConfig, UnknownKeysAreCollectedNotFatal) {
   EXPECT_EQ(unknown[1], "worker");
 }
 
+TEST(RunConfig, SolverKeysDefaultToHierarchy) {
+  const run::RunConfig cfg;
+  EXPECT_EQ(cfg.solver, "hierarchy");
+  EXPECT_EQ(cfg.los_accuracy, "standard");
+  EXPECT_EQ(cfg.tca_eps, 8e-3);  // the PerturbationConfig default, exactly
+  EXPECT_EQ(cfg.los_options(), boltzmann::LosOptions{});
+}
+
+TEST(RunConfig, SolverKeysRoundTripExactly) {
+  run::RunConfig cfg;
+  cfg.solver = "los";
+  cfg.los_accuracy = "draft";
+  cfg.lmax_polarization = 12;  // must fit draft's 24-moment hierarchy
+  cfg.tca_eps = 0.0123456789012345;
+  std::vector<std::string> unknown;
+  const run::RunConfig back = parse_text(cfg.to_params_text(), &unknown);
+  EXPECT_TRUE(unknown.empty());
+  EXPECT_EQ(back, cfg);
+  EXPECT_EQ(back.los_options(),
+            boltzmann::los_options_for_accuracy("draft"));
+}
+
+TEST(RunConfig, SolverTyposGetDidYouMeanDiagnostic) {
+  try {
+    parse_text("solver = hierachy\n");
+    FAIL() << "typo accepted";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("solver"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'hierarchy'?"), std::string::npos)
+        << msg;
+  }
+  try {
+    parse_text("solver = lso\n");
+    FAIL() << "typo accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'los'?"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_text("solver = los\nlos_accuracy = standart\n");
+    FAIL() << "typo accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'standard'?"),
+              std::string::npos)
+        << e.what();
+  }
+  // A value nowhere near any choice gets the plain list, no bogus guess.
+  try {
+    parse_text("solver = quadrature\n");
+    FAIL() << "unknown value accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RunConfig, UnknownKeySuggestionFindsNearbyTableKeys) {
+  EXPECT_EQ(run::config_key_suggestion("slover"), "solver");
+  EXPECT_EQ(run::config_key_suggestion("worker"), "workers");
+  EXPECT_EQ(run::config_key_suggestion("los_acuracy"), "los_accuracy");
+  EXPECT_EQ(run::config_key_suggestion("tca_esp"), "tca_eps");
+  // Far-off strings must not produce a misleading suggestion.
+  EXPECT_EQ(run::config_key_suggestion("frobnicate"), "");
+  EXPECT_EQ(run::config_key_suggestion("q"), "");
+}
+
+TEST(RunConfig, SolverValidationRejectsBadCombinations) {
+  EXPECT_THROW(parse_text("tca_eps = 0\n"), InvalidArgument);
+  EXPECT_THROW(parse_text("tca_eps = 0.5\n"), InvalidArgument);
+  // draft evolves l <= 24; a 30-moment polarization tower cannot ride
+  // a 24-moment photon hierarchy.
+  EXPECT_THROW(parse_text("solver = los\nlos_accuracy = draft\n"
+                          "lmax_polarization = 30\n"),
+               InvalidArgument);
+  EXPECT_NO_THROW(parse_text("solver = los\nlos_accuracy = draft\n"
+                             "lmax_polarization = 12\n"));
+  // The same towers are fine under the full hierarchy.
+  EXPECT_NO_THROW(parse_text("lmax_polarization = 30\n"));
+}
+
 TEST(RunConfig, MalformedValuesThrowNamingTheKey) {
   try {
     parse_text("h = fast\n");

@@ -153,6 +153,36 @@ TEST(RunEquivalence, IdentityHashIsStableAcrossReleases) {
   EXPECT_EQ(plan.identity().value, UINT64_C(0xE0DE65790795AA5C));
 }
 
+TEST(RunEquivalence, LosIdentityIsDistinctAndLayered) {
+  // solver=los extends the identity (salt + short hierarchy + sample
+  // times) on top of the unchanged base hash: an LOS journal can never
+  // be confused with a hierarchy journal over the same physics, and the
+  // extension composes with the pinned base above rather than moving it.
+  run::RunConfig cfg = small_config();
+  cfg.tau_end = 0.0;  // LOS needs the visibility epoch: run to today
+  cfg.lmax_cap = 0;
+  const auto ctx = run::make_context(cfg);
+  const run::RunPlan hier(cfg, ctx);
+
+  cfg.solver = "los";
+  const run::RunPlan los(cfg, ctx);
+  EXPECT_NE(los.identity(), hier.identity());
+
+  // The extension is reproducible from the documented recipe: the
+  // legacy base inputs plus the plan's own LosRunSpec.
+  cosmo::CosmoParams params = cosmo::CosmoParams::standard_cdm();
+  params.omega_c = 1.0 - params.omega_b - params.omega_lambda -
+                   params.omega_gamma() - params.omega_nu_massless();
+  const auto pcfg = cfg.perturbation();
+  const auto kgrid = math::linspace(cfg.k_min, cfg.k_max, cfg.n_k);
+  const auto& spec = los.setup().los;
+  ASSERT_TRUE(spec.enabled);
+  const store::LosIdentity ext{spec.lmax_evolve, spec.sample_taus};
+  EXPECT_EQ(los.identity(),
+            store::run_identity(params, pcfg, kgrid, cfg.tau_end,
+                                cfg.lmax_cap, ext));
+}
+
 TEST(RunEquivalence, SpectraMatchLegacyAccumulationBitwise) {
   // make_spectra() must accumulate exactly like the legacy example
   // loops: ascending ik, trapezoid weights, add_mode() per result, COBE

@@ -1,0 +1,36 @@
+#include "common/suggest.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace plinger::common {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::string closest_within_two(const std::string& value,
+                               const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_d = 3;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(value, c);
+    if (d < best_d && d < c.size()) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace plinger::common

@@ -104,6 +104,29 @@ void FaultInjectingWorld::check_alive(int rank) const {
   }
 }
 
+void FaultInjectingWorld::hold_for_rendezvous(int from) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      bool pending_other = false;
+      for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+        if (fired_[i] == 0 && plan_.actions[i].rank != from) {
+          pending_other = true;
+          break;
+        }
+      }
+      if (!pending_other) return;
+    }
+    // Valve: a plan that can no longer fire (e.g. its target died to an
+    // earlier action) must not hang the run.
+    if (std::chrono::steady_clock::now() - t0 > std::chrono::seconds(5)) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
 void FaultInjectingWorld::kill(int rank, int tag, std::size_t ik,
                                FaultKind kind) {
   // Caller holds no lock.  Mark dead first so concurrent calls by the
@@ -127,6 +150,7 @@ void FaultInjectingWorld::kill(int rank, int tag, std::size_t ik,
 void FaultInjectingWorld::send(int from, int to, int tag,
                                std::span<const double> data) {
   check_alive(from);
+  if (plan_.hold_healthy_results && tag == 4) hold_for_rendezvous(from);
   const std::size_t ik = payload_ik(tag, data);
 
   bool deliver = true;

@@ -82,6 +82,15 @@ struct FaultPlan {
   bool notify_on_kill = true;
   int death_notice_tag = 7;
 
+  /// Test-harness rendezvous: hold a tag-4 result send by any rank
+  /// while another rank still has an unfired planned action (valve:
+  /// 5 s, then proceed).  Without it a fast worker can drain the whole
+  /// schedule before a starved victim thread ever reaches the send its
+  /// fault triggers on, and the planned fault silently never happens —
+  /// a harness race, not a protocol one.  Off by default: drills want
+  /// the plan to fire (or not) as the run actually unfolds.
+  bool hold_healthy_results = false;
+
   bool empty() const { return actions.empty(); }
 
   /// Reproducible one-kill plan: from `seed`, pick a worker rank in
@@ -130,6 +139,9 @@ class FaultInjectingWorld final : public InProcWorld {
 
  private:
   void check_alive(int rank) const;  ///< throws RankKilled if dead
+  /// hold_healthy_results: block until no other rank has an unfired
+  /// planned action (or the 5 s valve opens).
+  void hold_for_rendezvous(int from) const;
   /// Kill `rank`: mark dead, emit the death notice, log, throw.
   [[noreturn]] void kill(int rank, int tag, std::size_t ik,
                          FaultKind kind);

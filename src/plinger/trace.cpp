@@ -34,11 +34,15 @@ void TraceRecorder::record_span(std::size_t ik, double k, int worker,
   span.t_finish = t_finish;
   span.cpu_seconds = cpu_seconds;
   span.flops = flops;
-  const std::lock_guard<std::mutex> lock(mutex_);
-  span.attempt = ++attempts_[ik];
-  const auto it = enqueued_.find(ik);
-  if (it != enqueued_.end()) span.t_enqueue = it->second;
-  trace_.spans.push_back(span);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    span.attempt = ++attempts_[ik];
+    const auto it = enqueued_.find(ik);
+    if (it != enqueued_.end()) span.t_enqueue = it->second;
+    trace_.spans.push_back(span);
+  }
+  // Outside the lock: an observer may call back into the recorder.
+  if (cfg_.on_span) cfg_.on_span(span);
 }
 
 void TraceRecorder::record_message(int tag, int source, int dest,

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -32,11 +33,22 @@
 
 namespace plinger::parallel {
 
+struct ModeSpan;
+
+/// Live span observer: called by the recorder once per recorded
+/// integration attempt, after the span is numbered and enqueued-stamped.
+/// This is the progress feed the serve daemon streams PROGRESS lines
+/// from — unlike the Trace itself it sees events as they happen, not at
+/// finish().  Called outside the recorder's lock (re-entry is safe) but
+/// possibly from any worker thread, so observers synchronize themselves.
+using SpanObserver = std::function<void(const ModeSpan&)>;
+
 /// Host-side tracing switches.  Not part of the tag-1 wire broadcast —
 /// workers record into the recorder the driver hands them directly.
 struct TraceConfig {
   bool enabled = false;
   bool capture_messages = true;  ///< record per-send MessageEvents
+  SpanObserver on_span;          ///< live progress feed; null = off
 };
 
 /// One integration attempt of one wavenumber on one worker.

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/suggest.hpp"
 
 namespace plinger::run {
 
@@ -51,40 +52,6 @@ bool parse_bool(const char* key, const std::string& s) {
   return parse_double(key, s) != 0.0;  // the historical 0/1 convention
 }
 
-/// Levenshtein edit distance, for did-you-mean diagnostics.  The
-/// vocabularies here are tiny (a handful of enum values, ~40 table
-/// keys), so the O(len^2) two-row form is plenty.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    cur[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
-    }
-    std::swap(prev, cur);
-  }
-  return prev[b.size()];
-}
-
-/// The closest candidate within an edit distance of 2 (and closer than
-/// the whole word is long), or "" when nothing is worth suggesting.
-template <typename Range>
-std::string closest_within_two(const std::string& v, const Range& range) {
-  std::string best;
-  std::size_t best_d = 3;
-  for (const auto& cand : range) {
-    const std::string c(cand);
-    const std::size_t d = edit_distance(v, c);
-    if (d < best_d && d < c.size()) {
-      best_d = d;
-      best = c;
-    }
-  }
-  return best;
-}
-
 void require_choice(const char* key, const std::string& v,
                     std::initializer_list<const char*> allowed) {
   for (const char* a : allowed) {
@@ -98,7 +65,8 @@ void require_choice(const char* key, const std::string& v,
     first = false;
   }
   os << "}";
-  const std::string suggestion = closest_within_two(v, allowed);
+  const std::string suggestion = common::closest_within_two(
+      v, std::vector<std::string>(allowed.begin(), allowed.end()));
   if (!suggestion.empty()) {
     os << "; did you mean '" << suggestion << "'?";
   }
@@ -453,7 +421,7 @@ std::string config_key_suggestion(const std::string& unknown) {
   std::vector<std::string> names;
   names.reserve(kNKeys);
   for (const KeyImpl& k : kKeys) names.emplace_back(k.doc.key);
-  return closest_within_two(unknown, names);
+  return common::closest_within_two(unknown, names);
 }
 
 std::string config_reference_markdown() {

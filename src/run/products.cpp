@@ -11,6 +11,14 @@
 
 namespace plinger::run {
 
+parallel::RunOutput output_from_results(
+    std::map<std::size_t, boltzmann::ModeResult> results) {
+  parallel::RunOutput out;
+  out.n_modes_loaded = results.size();
+  out.results = std::move(results);
+  return out;
+}
+
 SpectrumSet make_spectra(const RunPlan& plan,
                          const parallel::RunOutput& out, std::size_t l_max,
                          double q_rms_ps) {

@@ -30,6 +30,14 @@ struct SpectrumSet {
   std::size_t modes_used = 0;
 };
 
+/// Wrap already-settled mode results (a complete checkpoint journal,
+/// a cached batch output) as the RunOutput shape the product builders
+/// consume — exactly what execute() returns for a fully resumed run:
+/// every mode counted as loaded, zero wallclock/CPU/flops.  This is the
+/// serve layer's journal warm start: products without a driver spin-up.
+parallel::RunOutput output_from_results(
+    std::map<std::size_t, boltzmann::ModeResult> results);
+
 /// Assemble C_l^T, C_l^P, C_l^TP from the photon moments and pin the
 /// temperature quadrupole to COBE (q_rms_ps in Kelvin; the paper's
 /// 18 uK default).  l_max = 0 takes the plan's l_max.

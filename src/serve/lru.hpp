@@ -1,0 +1,71 @@
+#pragma once
+
+/// A small identity-keyed LRU cache — tier 1 of the serve answer path.
+///
+/// Keys are the 64-bit run-identity hashes the checkpoint store pins
+/// (store/identity.hpp), values are shared immutable answers, so a hit
+/// is one hash lookup plus a list splice and an eviction can never
+/// invalidate an answer a request is still holding.  The cache itself
+/// is unsynchronized: SpectrumService guards it with the same mutex
+/// that serializes the in-flight coalescing table, keeping the
+/// lookup-then-insert races inside one critical section.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace plinger::serve {
+
+template <typename V>
+class LruCache {
+ public:
+  /// A capacity of 0 disables caching entirely (every get misses,
+  /// every put is dropped) — the daemon's "no memory tier" switch.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+
+  /// The cached value, promoted to most-recently-used; null on a miss.
+  std::shared_ptr<const V> get(std::uint64_t key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Insert (or overwrite) key as most-recently-used, evicting from the
+  /// least-recently-used end to stay within capacity.
+  void put(std::uint64_t key, std::shared_ptr<const V> value) {
+    PLINGER_REQUIRE(value != nullptr, "LruCache: null value");
+    if (capacity_ == 0) return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, order_.begin());
+    while (map_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  /// Present without promoting (tests and stats).
+  bool contains(std::uint64_t key) const { return map_.count(key) != 0; }
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::shared_ptr<const V>>;
+  std::size_t capacity_;
+  std::list<Entry> order_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator>
+      map_;
+};
+
+}  // namespace plinger::serve

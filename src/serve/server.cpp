@@ -1,0 +1,253 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "serve/request.hpp"
+
+namespace plinger::serve {
+
+namespace {
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Write the whole buffer; false once the peer is gone.  MSG_NOSIGNAL
+/// keeps a dead client from killing the daemon with SIGPIPE.
+bool send_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::send(fd, text.data() + off, text.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Line-buffered reads over a polled socket.  next_line() returns false
+/// on EOF/error; while waiting it checks the caller's stop predicate
+/// every poll tick so an idle connection notices a shutdown.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// idle: true while the connection sits between requests — only then
+  /// may a shutdown abandon the read.
+  template <typename StopFn>
+  bool next_line(std::string& line, bool idle, const StopFn& stop) {
+    while (true) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+      if (idle && stop()) return false;
+      struct pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 200);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr == 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+}  // namespace
+
+SpectrumServer::SpectrumServer(SpectrumService& service, ServerOptions opts)
+    : service_(service), opts_(std::move(opts)) {
+  int pipefd[2];
+  if (::pipe2(pipefd, O_CLOEXEC | O_NONBLOCK) != 0) {
+    throw Error(std::string("serve: pipe2 failed: ") +
+                std::strerror(errno));
+  }
+  wake_read_ = pipefd[0];
+  wake_write_ = pipefd[1];
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    close_if_open(wake_read_);
+    close_if_open(wake_write_);
+    throw Error(std::string("serve: socket failed: ") +
+                std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    close_if_open(listen_fd_);
+    close_if_open(wake_read_);
+    close_if_open(wake_write_);
+    throw Error("serve: bad bind address '" + opts_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    close_if_open(listen_fd_);
+    close_if_open(wake_read_);
+    close_if_open(wake_write_);
+    throw Error("serve: cannot listen on " + opts_.bind_address + ":" +
+                std::to_string(opts_.port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+}
+
+SpectrumServer::~SpectrumServer() {
+  request_stop();
+  close_if_open(listen_fd_);
+  close_if_open(wake_read_);
+  close_if_open(wake_write_);
+}
+
+void SpectrumServer::request_stop() noexcept {
+  stopping_.store(true);
+  if (wake_write_ >= 0) {
+    const char x = 'x';
+    // Best-effort, async-signal-safe wake; a full pipe already wakes.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_, &x, 1);
+  }
+}
+
+void SpectrumServer::serve() {
+  while (!stopping_.load()) {
+    struct pollfd fds[2] = {{listen_fd_, POLLIN, 0},
+                            {wake_read_, POLLIN, 0}};
+    const int pr = ::poll(fds, 2, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // woken for shutdown
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (cfd < 0) continue;
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads_.emplace_back(
+        [this, cfd] { handle_connection(cfd); });
+  }
+  // Drain: connections notice stopping_ between requests, finish the
+  // request in flight, and exit; joining them completes the shutdown.
+  std::vector<std::jthread> drained;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    drained.swap(threads_);
+  }
+  drained.clear();  // joins
+}
+
+void SpectrumServer::handle_connection(int fd) {
+  LineReader reader(fd);
+  const auto stop = [this] { return stopping_.load(); };
+  std::string line;
+  while (reader.next_line(line, /*idle=*/true, stop)) {
+    std::vector<std::string> body;
+    bool truncated = false;
+    if (line == "RUN" || line == "RUN\r") {
+      // Mid-request: keep reading even during shutdown so a request
+      // already on the wire gets its answer (drain semantics).
+      std::string body_line;
+      while (true) {
+        if (!reader.next_line(body_line, /*idle=*/false, stop)) {
+          truncated = true;
+          break;
+        }
+        if (body_line == "END") break;
+        body.push_back(body_line);
+      }
+      if (truncated) break;
+    }
+    const RequestParse parsed = parse_request(line, body);
+    if (!parsed.error.empty()) {
+      if (!send_all(fd, "ERR " + parsed.error + "\n")) break;
+      continue;
+    }
+    bool keep = true;
+    switch (parsed.request.command) {
+      case Command::ping:
+        keep = send_all(fd, "PONG\n");
+        break;
+      case Command::quit:
+        send_all(fd, "BYE\n");
+        keep = false;
+        break;
+      case Command::stats: {
+        const ServeStats s = service_.stats();
+        std::string out;
+        out += "STAT requests " + std::to_string(s.requests) + "\n";
+        out += "STAT lru_hits " + std::to_string(s.lru_hits) + "\n";
+        out += "STAT journal_hits " + std::to_string(s.journal_hits) + "\n";
+        out += "STAT computes " + std::to_string(s.computes) + "\n";
+        out += "STAT coalesced " + std::to_string(s.coalesced) + "\n";
+        out += "STAT lru_size " + std::to_string(s.lru_size) + "\n";
+        out += "STAT in_flight " + std::to_string(s.in_flight) + "\n";
+        out += "DONE\n";
+        keep = send_all(fd, out);
+        break;
+      }
+      case Command::run: {
+        // PROGRESS lines stream from worker threads (serialized by the
+        // ProgressHub); this thread is blocked inside answer() until
+        // the last of them has been delivered, so the OK line and
+        // payload never interleave with them.
+        const ProgressFn progress = [fd](std::size_t done,
+                                         std::size_t total) {
+          send_all(fd, "PROGRESS " + std::to_string(done) + "/" +
+                           std::to_string(total) + "\n");
+        };
+        try {
+          const Answer answer =
+              service_.answer(parsed.request.config, progress);
+          keep = send_all(fd, render_response(answer));
+        } catch (const Error& e) {
+          keep = send_all(fd, std::string("ERR ") + e.what() + "\n");
+        }
+        break;
+      }
+    }
+    if (!keep) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace plinger::serve

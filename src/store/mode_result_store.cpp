@@ -1,5 +1,10 @@
 #include "store/mode_result_store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -133,6 +138,38 @@ ModeResultStore::ModeResultStore(const StoreOptions& opts, RunIdentity id,
     : opts_(opts), id_(id), n_k_(n_k) {
   PLINGER_REQUIRE(!opts_.path.empty(), "ModeResultStore: empty path");
 
+  // Advisory writer lock, held for the store's lifetime: a second
+  // writer (a daemon and a CLI run pointed at the same journal) must
+  // fail fast instead of interleaving appends.  Taken before the scan
+  // below so no writer ever reads a journal another writer is mutating.
+  lock_fd_ = ::open(opts_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  PLINGER_REQUIRE(lock_fd_ >= 0,
+                  "ModeResultStore: cannot open " + opts_.path);
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    const bool held = errno == EWOULDBLOCK || errno == EAGAIN;
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    if (held) {
+      throw StoreBusy("ModeResultStore: journal " + opts_.path +
+                      " is locked by another writer (a daemon or a "
+                      "concurrent run); refusing to append concurrently");
+    }
+    throw StoreWriteError("ModeResultStore: cannot lock " + opts_.path);
+  }
+
+  // From here on a throw must release the lock: a failed constructor
+  // never runs the destructor.
+  try {
+    open_journal();
+  } catch (...) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw;
+  }
+}
+
+void ModeResultStore::open_journal() {
   std::error_code ec;
   const std::uint64_t file_size =
       fs::exists(opts_.path, ec) ? fs::file_size(opts_.path, ec) : 0;
@@ -207,6 +244,14 @@ ModeResultStore::~ModeResultStore() {
   } catch (...) {
     // Destructor: a failed final flush must not terminate the process;
     // the journal simply ends at the last successful flush.
+  }
+  if (lock_fd_ >= 0) {
+    // Close the stream (releasing its buffered state) before dropping
+    // the lock, so the next writer never sees a half-flushed tail while
+    // we still could have written more.
+    out_.close();
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
   }
 }
 
@@ -322,6 +367,35 @@ JournalScan ModeResultStore::scan(const std::string& path) {
   }
   s.torn_tail = s.good_bytes < file_size;
   return s;
+}
+
+JournalContents read_journal(const std::string& path) {
+  JournalContents c;
+  std::error_code ec;
+  const std::uint64_t file_size =
+      fs::exists(path, ec) ? fs::file_size(path, ec) : 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw StoreCorrupt("read_journal: cannot open " + path);
+  }
+  RawReader raw(in);
+  std::vector<double> rec;
+  if (raw.next(rec) != RawReader::Status::record) {
+    throw StoreCorrupt("read_journal: no file header in " + path);
+  }
+  parse_file_header(rec, c.identity.value, c.n_k);
+  std::uint64_t good = raw.offset();
+  for (;;) {
+    const auto st = raw.next(rec);
+    if (st != RawReader::Status::record) break;
+    std::size_t ik = 0;
+    boltzmann::ModeResult r;
+    if (!parse_mode_record(rec, ik, r)) break;
+    good = raw.offset();
+    c.results.emplace(ik, std::move(r));  // first record wins
+  }
+  c.torn_tail = good < file_size;
+  return c;
 }
 
 }  // namespace plinger::store

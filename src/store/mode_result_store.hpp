@@ -73,6 +73,16 @@ class StoreWriteError : public Error {
   explicit StoreWriteError(const std::string& what) : Error(what) {}
 };
 
+/// Another process holds the journal open for writing.  Each
+/// ModeResultStore takes an advisory exclusive lock (flock) on its
+/// journal for its whole lifetime, so a daemon and a CLI run pointed at
+/// the same path cannot interleave appends and corrupt it — the second
+/// opener fails fast with this instead.
+class StoreBusy : public Error {
+ public:
+  explicit StoreBusy(const std::string& what) : Error(what) {}
+};
+
 /// Raw inspection of a journal file, shared by the loader, the tests,
 /// and tooling.  Never throws on mode-record damage: scanning stops at
 /// the first bad record and reports how far the good prefix reaches.
@@ -133,12 +143,14 @@ class ModeResultStore {
   static JournalScan scan(const std::string& path);
 
  private:
+  void open_journal();  ///< scan/truncate/load + open for append
   void write_file_header();
   void require_writable(const char* when);  ///< throws StoreWriteError
 
   StoreOptions opts_;
   RunIdentity id_;
   std::size_t n_k_ = 0;
+  int lock_fd_ = -1;  ///< advisory flock held for the store's lifetime
 
   mutable std::mutex mutex_;
   std::ofstream out_;
@@ -152,5 +164,28 @@ class ModeResultStore {
   std::size_t n_duplicates_ = 0;
   bool torn_tail_recovered_ = false;
 };
+
+/// A journal's full read-only contents: what read_journal() recovers
+/// without opening the file for writing (and without taking the write
+/// lock).  Duplicate records keep the first occurrence, mirroring the
+/// resume loader.
+struct JournalContents {
+  RunIdentity identity;
+  std::size_t n_k = 0;  ///< grid size stamped in the header
+  std::map<std::size_t, boltzmann::ModeResult> results;
+  bool torn_tail = false;  ///< trailing damage was skipped, not repaired
+
+  /// True when every mode of the stamped grid is present — the journal
+  /// can answer a repeat request by itself, no recompute needed.
+  bool complete() const { return n_k > 0 && results.size() == n_k; }
+};
+
+/// Read a journal's records without opening it for writing — the serve
+/// layer's warm-start path (and any read-through consumer).  Advisory
+/// locking is writer-vs-writer only, so this works while a store holds
+/// the journal open; a torn tail or damaged record ends the read early
+/// (torn_tail is set) instead of failing.  Throws StoreCorrupt when the
+/// file header itself is unreadable.
+JournalContents read_journal(const std::string& path);
 
 }  // namespace plinger::store

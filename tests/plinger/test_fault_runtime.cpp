@@ -164,6 +164,12 @@ pm::FaultPlan kill_plan(const KillPhase& phase, int victim) {
   a.tag = phase.tag;
   pm::FaultPlan plan;
   plan.actions.push_back(a);
+  // Healthy workers park their results until the kill has fired: under
+  // machine load the victim's thread can otherwise be starved until the
+  // rest of the pool drains the schedule, and the planned kill silently
+  // never happens (the driver-level matrix has no EvolveFn rendezvous
+  // to gate it the way run_faulty does).
+  plan.hold_healthy_results = true;
   return plan;
 }
 

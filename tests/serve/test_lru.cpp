@@ -1,0 +1,83 @@
+// LruCache unit tests: capacity/eviction order, recency promotion on
+// both get and put, the capacity-0 disable switch, and overwrite.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "serve/lru.hpp"
+
+namespace sv = plinger::serve;
+
+namespace {
+
+std::shared_ptr<const std::string> val(const char* s) {
+  return std::make_shared<const std::string>(s);
+}
+
+}  // namespace
+
+TEST(LruCache, HitMissAndSize) {
+  sv::LruCache<std::string> lru(4);
+  EXPECT_EQ(lru.capacity(), 4u);
+  EXPECT_EQ(lru.size(), 0u);
+  EXPECT_EQ(lru.get(1), nullptr);
+
+  lru.put(1, val("one"));
+  lru.put(2, val("two"));
+  EXPECT_EQ(lru.size(), 2u);
+  ASSERT_NE(lru.get(1), nullptr);
+  EXPECT_EQ(*lru.get(1), "one");
+  EXPECT_TRUE(lru.contains(2));
+  EXPECT_FALSE(lru.contains(3));
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  sv::LruCache<std::string> lru(3);
+  lru.put(1, val("a"));
+  lru.put(2, val("b"));
+  lru.put(3, val("c"));
+  // Touch 1 so 2 becomes the least recently used.
+  EXPECT_NE(lru.get(1), nullptr);
+  lru.put(4, val("d"));
+  EXPECT_EQ(lru.size(), 3u);
+  EXPECT_FALSE(lru.contains(2));
+  EXPECT_TRUE(lru.contains(1));
+  EXPECT_TRUE(lru.contains(3));
+  EXPECT_TRUE(lru.contains(4));
+}
+
+TEST(LruCache, PutPromotesExistingKey) {
+  sv::LruCache<std::string> lru(2);
+  lru.put(1, val("a"));
+  lru.put(2, val("b"));
+  lru.put(1, val("a2"));  // overwrite also promotes
+  lru.put(3, val("c"));   // evicts 2, not 1
+  EXPECT_TRUE(lru.contains(1));
+  EXPECT_FALSE(lru.contains(2));
+  EXPECT_EQ(*lru.get(1), "a2");
+}
+
+TEST(LruCache, EvictionKeepsSharedValuesAlive) {
+  sv::LruCache<std::string> lru(1);
+  lru.put(1, val("held"));
+  const auto held = lru.get(1);
+  lru.put(2, val("evictor"));
+  EXPECT_FALSE(lru.contains(1));
+  // The evicted entry's value survives through the caller's reference.
+  EXPECT_EQ(*held, "held");
+}
+
+TEST(LruCache, CapacityZeroDisables) {
+  sv::LruCache<std::string> lru(0);
+  lru.put(1, val("dropped"));
+  EXPECT_EQ(lru.size(), 0u);
+  EXPECT_EQ(lru.get(1), nullptr);
+}
+
+TEST(LruCache, NullValueIsRejected) {
+  sv::LruCache<std::string> lru(2);
+  EXPECT_THROW(lru.put(1, nullptr), plinger::InvalidArgument);
+}

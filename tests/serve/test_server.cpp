@@ -1,0 +1,259 @@
+// SpectrumServer end-to-end tests over real sockets: the wire protocol
+// (PING/RUN/STATS/QUIT, ERR replies with suggestions, PROGRESS
+// streaming), repeat-identity answers from the LRU, and graceful
+// shutdown draining an in-flight request to completion.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "run/config.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace sv = plinger::serve;
+namespace rn = plinger::run;
+
+namespace {
+
+const char* kFastBody =
+    "n_k = 4\n"
+    "k_max = 0.04\n"
+    "lmax_photon = 24\n"
+    "lmax_polarization = 8\n"
+    "lmax_neutrino = 8\n"
+    "driver = autotask\n"
+    "workers = 2\n";
+
+/// A blocking test client over one connection.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void send_text(const std::string& text) {
+    std::size_t off = 0;
+    while (off < text.size()) {
+      const ssize_t n = ::send(fd_, text.data() + off, text.size() - off,
+                               MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Read one '\n'-terminated line (without the newline); "" on EOF.
+  std::string read_line() {
+    std::string::size_type nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return "";
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return line;
+  }
+
+  /// Read lines through the terminating "DONE" (inclusive), or a
+  /// single-line reply (ERR/PONG/BYE).
+  std::vector<std::string> read_reply() {
+    std::vector<std::string> lines;
+    for (;;) {
+      const std::string line = read_line();
+      if (line.empty()) break;  // EOF
+      lines.push_back(line);
+      if (line == "DONE" || line == "PONG" || line == "BYE" ||
+          line.rfind("ERR ", 0) == 0) {
+        break;
+      }
+    }
+    return lines;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+/// A server on an ephemeral port with serve() running on its own
+/// thread; joins on destruction.
+class ServerFixture {
+ public:
+  explicit ServerFixture(sv::ServeOptions sopts = {})
+      : service_(std::move(sopts)),
+        server_(service_, sv::ServerOptions{}),
+        thread_([this] { server_.serve(); }) {}
+  ~ServerFixture() {
+    server_.request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+  sv::SpectrumService& service() { return service_; }
+  sv::SpectrumServer& server() { return server_; }
+  std::uint16_t port() const { return server_.port(); }
+
+ private:
+  sv::SpectrumService service_;
+  sv::SpectrumServer server_;
+  std::thread thread_;
+};
+
+}  // namespace
+
+TEST(SpectrumServer, PingStatsQuit) {
+  ServerFixture fx;
+  Client c(fx.port());
+  ASSERT_TRUE(c.connected());
+
+  c.send_text("PING\n");
+  EXPECT_EQ(c.read_line(), "PONG");
+
+  c.send_text("STATS\n");
+  const auto stats = c.read_reply();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats.front(), "STAT requests 0");
+  EXPECT_EQ(stats.back(), "DONE");
+
+  c.send_text("QUIT\n");
+  EXPECT_EQ(c.read_line(), "BYE");
+  EXPECT_EQ(c.read_line(), "");  // server closed the connection
+}
+
+TEST(SpectrumServer, RunStreamsProgressThenSpectra) {
+  ServerFixture fx;
+  Client c(fx.port());
+  ASSERT_TRUE(c.connected());
+
+  c.send_text(std::string("RUN\n") + kFastBody + "END\n");
+  const auto reply = c.read_reply();
+  ASSERT_GE(reply.size(), 3u);
+
+  // PROGRESS lines first, ending at 4/4, then the OK status line.
+  std::size_t i = 0;
+  while (i < reply.size() && reply[i].rfind("PROGRESS ", 0) == 0) ++i;
+  EXPECT_GT(i, 0u);
+  EXPECT_EQ(reply[i - 1], "PROGRESS 4/4");
+  ASSERT_LT(i, reply.size());
+  EXPECT_EQ(reply[i].rfind("OK identity=", 0), 0u);
+  EXPECT_NE(reply[i].find("tier=compute"), std::string::npos);
+  EXPECT_NE(reply[i].find("modes=4"), std::string::npos);
+  EXPECT_EQ(reply.back(), "DONE");
+
+  // CL lines for l = 2..l_max and the COBE factor in between.
+  std::size_t n_cl = 0;
+  bool cobe = false;
+  for (std::size_t j = i + 1; j + 1 < reply.size(); ++j) {
+    if (reply[j].rfind("CL ", 0) == 0) ++n_cl;
+    if (reply[j].rfind("COBE ", 0) == 0) cobe = true;
+  }
+  EXPECT_EQ(n_cl, rn::RunConfig{}.l_max - 1);  // l = 2..300
+  EXPECT_TRUE(cobe);
+
+  // The repeat over the same connection: instant, no PROGRESS, same
+  // payload, tier=lru.
+  c.send_text(std::string("RUN\n") + kFastBody + "END\n");
+  const auto warm = c.read_reply();
+  ASSERT_GE(warm.size(), 2u);
+  EXPECT_EQ(warm.front().rfind("OK identity=", 0), 0u);
+  EXPECT_NE(warm.front().find("tier=lru"), std::string::npos);
+  // Identical payloads after the OK line (reply also carries PROGRESS
+  // lines before its OK line; compare the tails).
+  const std::vector<std::string> cold_payload(reply.begin() + i + 1,
+                                              reply.end());
+  const std::vector<std::string> warm_payload(warm.begin() + 1,
+                                              warm.end());
+  EXPECT_EQ(cold_payload, warm_payload);
+  EXPECT_EQ(fx.service().stats().computes, 1u);
+}
+
+TEST(SpectrumServer, BadRequestsGetErrReplies) {
+  ServerFixture fx;
+  Client c(fx.port());
+  ASSERT_TRUE(c.connected());
+
+  // Unknown command, with a suggestion.
+  c.send_text("PNIG\n");
+  std::string line = c.read_line();
+  EXPECT_EQ(line.rfind("ERR unknown command", 0), 0u);
+  EXPECT_NE(line.find("did you mean 'PING'"), std::string::npos);
+
+  // Unknown config key, with the CLI's did-you-mean.
+  c.send_text("RUN\nn_kk = 4\nEND\n");
+  line = c.read_line();
+  EXPECT_EQ(line.rfind("ERR unrecognized key 'n_kk'", 0), 0u);
+  EXPECT_NE(line.find("did you mean 'n_k'"), std::string::npos);
+
+  // Reserved key.
+  c.send_text("RUN\nstore = hijack.pj\nEND\n");
+  line = c.read_line();
+  EXPECT_EQ(line.rfind("ERR key 'store' is reserved", 0), 0u);
+
+  // The connection survives errors; nothing was computed or cached.
+  c.send_text("PING\n");
+  EXPECT_EQ(c.read_line(), "PONG");
+  EXPECT_EQ(fx.service().stats().requests, 0u);
+}
+
+TEST(SpectrumServer, GracefulStopDrainsInFlightRequests) {
+  // Gate the computation so the shutdown provably arrives while a
+  // request is in flight; the drained daemon must still answer it.
+  sv::ServeOptions sopts;
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::promise<void> entered;
+  std::atomic<bool> entered_once{false};
+  sopts.on_compute = [&, released] {
+    if (!entered_once.exchange(true)) entered.set_value();
+    released.wait();
+  };
+
+  ServerFixture fx(std::move(sopts));
+  Client c(fx.port());
+  ASSERT_TRUE(c.connected());
+  c.send_text(std::string("RUN\n") + kFastBody + "END\n");
+  entered.get_future().wait();
+
+  // Stop while the compute is held open: accepting ends (new
+  // connections get nothing), the in-flight request keeps going.
+  fx.server().request_stop();
+  EXPECT_TRUE(fx.server().stopping());
+  release.set_value();
+
+  const auto reply = c.read_reply();
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply.back(), "DONE");
+  bool saw_ok = false;
+  for (const auto& l : reply) {
+    if (l.rfind("OK identity=", 0) == 0) saw_ok = true;
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_EQ(fx.service().stats().computes, 1u);
+  // The fixture's destructor joins serve(): returning at all proves the
+  // drain completed.
+}

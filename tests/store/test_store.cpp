@@ -403,3 +403,85 @@ TEST(ModeResultStore, WriteFailureIsSurfaced) {
   EXPECT_THROW(ps::ModeResultStore(o, test_identity(), 4),
                ps::StoreWriteError);
 }
+
+TEST(ModeResultStore, SecondWriterGetsStoreBusy) {
+  // The daemon and a CLI run pointed at the same journal must not
+  // interleave appends: the store holds an advisory flock for its whole
+  // lifetime, and the second opener fails fast.
+  const auto path = temp_path("busy");
+  ps::ModeResultStore first(opts_for(path), test_identity(), 4);
+  first.append(1, fake_result(0.01));
+  EXPECT_THROW(ps::ModeResultStore(opts_for(path), test_identity(), 4),
+               ps::StoreBusy);
+  // Probe again while still held — the failed open must not have
+  // stolen or broken the first writer's lock.
+  EXPECT_THROW(ps::ModeResultStore(opts_for(path), test_identity(), 4),
+               ps::StoreBusy);
+}
+
+TEST(ModeResultStore, LockReleasedOnCloseAndOnCtorThrow) {
+  const auto path = temp_path("busy_release");
+  {
+    ps::ModeResultStore st(opts_for(path), test_identity(), 4);
+    st.append(1, fake_result(0.01));
+  }
+  // Closed cleanly: the lock is gone, a wrong-identity open throws past
+  // the lock acquisition...
+  ps::RunIdentity other = test_identity();
+  other.value ^= 0xdeadbeef;
+  EXPECT_THROW(ps::ModeResultStore(opts_for(path), other, 4),
+               ps::StoreIdentityMismatch);
+  // ...and must have released it on that throw: a correct open works.
+  ps::ModeResultStore again(opts_for(path), test_identity(), 4);
+  EXPECT_EQ(again.n_loaded(), 1u);
+}
+
+TEST(ReadJournal, ReadsCompleteAndPartialJournals) {
+  const auto path = temp_path("readthrough");
+  {
+    ps::ModeResultStore st(opts_for(path), test_identity(), 4);
+    for (std::size_t ik = 1; ik <= 3; ++ik)
+      st.append(ik, fake_result(0.01 * static_cast<double>(ik)));
+
+    // Read-through works while the writer holds the journal open
+    // (advisory locking is writer-vs-writer only).
+    const ps::JournalContents partial = ps::read_journal(path);
+    EXPECT_EQ(partial.identity, test_identity());
+    EXPECT_EQ(partial.n_k, 4u);
+    EXPECT_EQ(partial.results.size(), 3u);
+    EXPECT_FALSE(partial.complete());
+    EXPECT_FALSE(partial.torn_tail);
+
+    st.append(4, fake_result(0.04));
+  }
+  const ps::JournalContents full = ps::read_journal(path);
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(full.results.size(), 4u);
+  EXPECT_DOUBLE_EQ(full.results.at(2).k, 0.02);
+  EXPECT_DOUBLE_EQ(full.results.at(2).final_state.delta_c, -0.02);
+}
+
+TEST(ReadJournal, TornTailEndsTheReadNotTheCaller) {
+  const auto path = temp_path("readthrough_torn");
+  {
+    ps::ModeResultStore st(opts_for(path), test_identity(), 4);
+    st.append(1, fake_result(0.01));
+    st.append(2, fake_result(0.02));
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write("torn", 4);  // a crash mid-append
+  }
+  const ps::JournalContents c = ps::read_journal(path);
+  EXPECT_EQ(c.results.size(), 2u);
+  EXPECT_TRUE(c.torn_tail);
+  EXPECT_FALSE(c.complete());
+}
+
+TEST(ReadJournal, MissingOrHeaderlessFileThrows) {
+  EXPECT_THROW(ps::read_journal(temp_path("readthrough_missing")),
+               ps::StoreCorrupt);
+  const auto path = temp_path("readthrough_empty");
+  { std::ofstream os(path, std::ios::binary); }
+  EXPECT_THROW(ps::read_journal(path), ps::StoreCorrupt);
+}

@@ -295,6 +295,32 @@ int main(int argc, char** argv) {
           .metric("n_rhs", static_cast<double>(r.stats.n_rhs));
       std::printf("%-10s %-6g %14s %12.3f s  (n_rhs=%ld)\n", "evolve", k,
                   "-", wall, r.stats.n_rhs);
+
+      // Same mode through the DOP853 core (integrator=dop853): fewer
+      // RHS evals per step pair, tracked here so the hotpath record
+      // shows both integrator families side by side.
+      boltzmann::PerturbationConfig dcfg = cfg;
+      dcfg.integrator = boltzmann::IntegratorKind::dop853;
+      boltzmann::ModeEvolver dop_evolver(
+          bg, rec, dcfg,
+          std::make_shared<const cosmo::ThermoCache>(bg, rec));
+      const double t1 = now_s();
+      const auto rd = dop_evolver.evolve(req);
+      const double wall_dop = now_s() - t1;
+      report.add("evolve_dop853")
+          .label("k", kbuf)
+          .label("variant", "dop853")
+          .metric("lmax", static_cast<double>(rd.lmax))
+          .metric("wall_seconds", wall_dop)
+          .metric("cpu_seconds", rd.cpu_seconds)
+          .metric("n_rhs", static_cast<double>(rd.stats.n_rhs))
+          .metric("rhs_reduction_vs_dverk",
+                  rd.stats.n_rhs > 0
+                      ? static_cast<double>(r.stats.n_rhs) /
+                            static_cast<double>(rd.stats.n_rhs)
+                      : 0.0);
+      std::printf("%-10s %-6g %14s %12.3f s  (n_rhs=%ld, dop853)\n",
+                  "evolve", k, "-", wall_dop, rd.stats.n_rhs);
     }
   }
 

@@ -42,6 +42,7 @@ namespace {
 struct DecadeCost {
   double cpu_hier = 0.0;
   double cpu_los = 0.0;
+  double cpu_auto = 0.0;
   std::size_t n_modes = 0;
 };
 
@@ -79,11 +80,19 @@ int main(int argc, char** argv) {
   los.solver = "los";
   los.los_accuracy = "standard";
 
+  // The k-crossover router: LOS where it wins, hierarchy below the
+  // crossover where the short-tower overhead made solver=los a
+  // regression (the 0.14-0.8x decades in the committed record).
+  run::RunConfig aut = hier;
+  aut.solver = "auto";
+  aut.los_accuracy = "standard";
+
   const auto ctx = run::make_context(hier);
   const run::RunPlan hier_plan(hier, ctx);
   const run::RunPlan los_plan(los, ctx);
-  std::printf("== solver=hierarchy vs solver=los: l_max = %zu, "
-              "%zu modes ==\n",
+  const run::RunPlan auto_plan(aut, ctx);
+  std::printf("== solver=hierarchy vs solver=los vs solver=auto: "
+              "l_max = %zu, %zu modes ==\n",
               l_max, hier_plan.schedule().size());
 
   double t0 = wallclock_seconds();
@@ -92,15 +101,25 @@ int main(int argc, char** argv) {
   t0 = wallclock_seconds();
   const auto los_out = los_plan.execute();
   const double wall_los = wallclock_seconds() - t0;
+  t0 = wallclock_seconds();
+  const auto auto_out = auto_plan.execute();
+  const double wall_auto = wallclock_seconds() - t0;
 
   // Per-mode CPU, grouped by decade of k.  Both plans share the grid,
   // so the result maps are keyed identically.
   std::map<int, DecadeCost> decades;
-  double cpu_hier = 0.0, cpu_los = 0.0;
-  bool complete = hier_out.results.size() == los_out.results.size();
+  double cpu_hier = 0.0, cpu_los = 0.0, cpu_auto = 0.0;
+  // The routing's own ledger: CPU spent on the modes solver=auto
+  // reroutes (k below the crossover).  Above the crossover auto and
+  // los do identical work, so any difference there is run-ordering
+  // noise — the gate below compares only the rerouted set.
+  double cpu_los_rerouted = 0.0, cpu_auto_rerouted = 0.0;
+  bool complete = hier_out.results.size() == los_out.results.size() &&
+                  hier_out.results.size() == auto_out.results.size();
   for (const auto& [ik, rh] : hier_out.results) {
     const auto it = los_out.results.find(ik);
-    if (it == los_out.results.end()) {
+    const auto ia = auto_out.results.find(ik);
+    if (it == los_out.results.end() || ia == auto_out.results.end()) {
       complete = false;
       continue;
     }
@@ -109,28 +128,40 @@ int main(int argc, char** argv) {
     auto& d = decades[dec];
     d.cpu_hier += rh.cpu_seconds;
     d.cpu_los += it->second.cpu_seconds;
+    d.cpu_auto += ia->second.cpu_seconds;
     d.n_modes += 1;
     cpu_hier += rh.cpu_seconds;
     cpu_los += it->second.cpu_seconds;
+    cpu_auto += ia->second.cpu_seconds;
+    if (rh.k < run::kAutoSolverCrossoverK) {
+      cpu_los_rerouted += it->second.cpu_seconds;
+      cpu_auto_rerouted += ia->second.cpu_seconds;
+    }
   }
 
   // The accuracy companion: worst relative C_l^TT deviation, raw
   // (normalization divided back out).
   const auto spec_hier = run::make_spectra(hier_plan, hier_out, l_max);
   const auto spec_los = run::make_spectra(los_plan, los_out, l_max);
-  double worst_rel = 0.0;
+  const auto spec_auto = run::make_spectra(auto_plan, auto_out, l_max);
+  double worst_rel = 0.0, worst_rel_auto = 0.0;
   for (std::size_t l = 2; l <= l_max; ++l) {
     const double a = spec_hier.temperature.cl[l] / spec_hier.cobe_factor;
     const double b = spec_los.temperature.cl[l] / spec_los.cobe_factor;
+    const double c = spec_auto.temperature.cl[l] / spec_auto.cobe_factor;
     worst_rel = std::max(worst_rel, std::abs(b - a) / std::abs(a));
+    worst_rel_auto =
+        std::max(worst_rel_auto, std::abs(c - a) / std::abs(a));
   }
 
-  std::printf("total CPU: hierarchy %.2f s, LOS %.2f s (%.1fx); "
-              "wallclock %.2f s vs %.2f s\n",
+  std::printf("total CPU: hierarchy %.2f s, LOS %.2f s (%.1fx), "
+              "auto %.2f s (%.1fx); wallclock %.2f / %.2f / %.2f s\n",
               cpu_hier, cpu_los, cpu_los > 0.0 ? cpu_hier / cpu_los : 0.0,
-              wall_hier, wall_los);
-  std::printf("worst C_l^TT relative deviation (l <= %zu): %.4f\n\n",
-              l_max, worst_rel);
+              cpu_auto, cpu_auto > 0.0 ? cpu_hier / cpu_auto : 0.0,
+              wall_hier, wall_los, wall_auto);
+  std::printf("worst C_l^TT relative deviation (l <= %zu): los %.4f, "
+              "auto %.4f\n\n",
+              l_max, worst_rel, worst_rel_auto);
 
   io::BenchReport report("los");
   report.add("totals")
@@ -138,23 +169,38 @@ int main(int argc, char** argv) {
       .metric("n_modes", static_cast<double>(hier_out.results.size()))
       .metric("cpu_seconds_hierarchy", cpu_hier)
       .metric("cpu_seconds_los", cpu_los)
+      .metric("cpu_seconds_auto", cpu_auto)
       .metric("wallclock_seconds_hierarchy", wall_hier)
       .metric("wallclock_seconds_los", wall_los)
+      .metric("wallclock_seconds_auto", wall_auto)
       .metric("speedup_total",
               cpu_los > 0.0 ? cpu_hier / cpu_los : 0.0)
+      .metric("speedup_total_auto",
+              cpu_auto > 0.0 ? cpu_hier / cpu_auto : 0.0)
+      .metric("cpu_seconds_los_rerouted_modes", cpu_los_rerouted)
+      .metric("cpu_seconds_auto_rerouted_modes", cpu_auto_rerouted)
+      .metric("rerouted_speedup",
+              cpu_auto_rerouted > 0.0
+                  ? cpu_los_rerouted / cpu_auto_rerouted
+                  : 0.0)
       .metric("worst_cl_rel_error", worst_rel)
+      .metric("worst_cl_rel_error_auto", worst_rel_auto)
       .metric("complete", complete ? 1.0 : 0.0);
 
   std::printf("per-mode speedup by k-decade:\n");
   std::printf("   decade          modes   hier CPU    LOS CPU   "
-              "speedup\n");
+              "speedup   auto CPU   speedup\n");
   double speedup_highest = 0.0;
   for (const auto& [dec, d] : decades) {
     const double speedup =
         d.cpu_los > 0.0 ? d.cpu_hier / d.cpu_los : 0.0;
+    const double speedup_auto =
+        d.cpu_auto > 0.0 ? d.cpu_hier / d.cpu_auto : 0.0;
     speedup_highest = speedup;  // map iterates ascending: last wins
-    std::printf("   1e%+d..1e%+d     %5zu   %8.2f   %8.2f   %6.1fx\n",
-                dec, dec + 1, d.n_modes, d.cpu_hier, d.cpu_los, speedup);
+    std::printf("   1e%+d..1e%+d     %5zu   %8.2f   %8.2f   %6.1fx   "
+                "%8.2f   %6.1fx\n",
+                dec, dec + 1, d.n_modes, d.cpu_hier, d.cpu_los, speedup,
+                d.cpu_auto, speedup_auto);
     char name[32];
     std::snprintf(name, sizeof name, "decade_1e%+d", dec);
     report.add(name)
@@ -162,7 +208,9 @@ int main(int argc, char** argv) {
         .metric("n_modes", static_cast<double>(d.n_modes))
         .metric("cpu_seconds_hierarchy", d.cpu_hier)
         .metric("cpu_seconds_los", d.cpu_los)
-        .metric("speedup", speedup);
+        .metric("speedup", speedup)
+        .metric("cpu_seconds_auto", d.cpu_auto)
+        .metric("speedup_auto", speedup_auto);
   }
   report.entries[0].metric("speedup_highest_k_decade", speedup_highest);
   std::printf("\nhighest-k decade speedup: %.1fx%s\n", speedup_highest,
@@ -184,5 +232,27 @@ int main(int argc, char** argv) {
                  worst_rel);
     return 1;
   }
+  // solver=auto only reroutes modes, so it can never be less accurate
+  // than pure LOS, and the rerouted low-k modes must not cost more in
+  // total than the LOS path they replaced (5% scheduler-noise margin).
+  if (!(worst_rel_auto < 0.20)) {
+    std::fprintf(stderr, "FAIL: auto C_l deviation %.3f exceeds 0.20\n",
+                 worst_rel_auto);
+    return 1;
+  }
+  if (!(cpu_auto_rerouted <= cpu_los_rerouted)) {
+    std::fprintf(stderr,
+                 "FAIL: solver=auto spends %.3f s on the rerouted "
+                 "(k < crossover) modes vs %.3f s under solver=los\n",
+                 cpu_auto_rerouted, cpu_los_rerouted);
+    return 1;
+  }
+  std::printf("rerouted (k < %.3g) modes: los %.3f s, auto %.3f s "
+              "(%.1fx)\n",
+              run::kAutoSolverCrossoverK, cpu_los_rerouted,
+              cpu_auto_rerouted,
+              cpu_auto_rerouted > 0.0
+                  ? cpu_los_rerouted / cpu_auto_rerouted
+                  : 0.0);
   return 0;
 }

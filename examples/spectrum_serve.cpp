@@ -11,13 +11,15 @@
 //
 // Usage:
 //   spectrum_serve [--port N] [--bind ADDR] [--journal-dir DIR]
-//                  [--lru N] [--slots N]
+//                  [--lru N] [--lru-bytes N] [--slots N]
 //
 //   --port N          TCP port (default 7201; 0 = kernel-assigned)
 //   --bind ADDR       bind address (default 127.0.0.1)
 //   --journal-dir DIR journal store directory (default serve_journals;
 //                     "" disables persistence)
 //   --lru N           finished answers kept in memory (default 64)
+//   --lru-bytes N     byte budget over the cached rendered replies
+//                     (default 0 = count-based eviction only)
 //   --slots N         concurrent computations (default 2)
 //
 // SIGINT/SIGTERM shut down gracefully: the daemon stops accepting,
@@ -45,7 +47,7 @@ extern "C" void handle_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--bind ADDR] [--journal-dir DIR] "
-               "[--lru N] [--slots N]\n",
+               "[--lru N] [--lru-bytes N] [--slots N]\n",
                argv0);
   return 1;
 }
@@ -71,6 +73,8 @@ int main(int argc, char** argv) {
       sopts.journal_dir = argv[++i];
     } else if (arg == "--lru" && has_value) {
       sopts.lru_capacity = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--lru-bytes" && has_value) {
+      sopts.lru_max_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--slots" && has_value) {
       sopts.compute_slots = std::atoi(argv[++i]);
     } else {
@@ -89,11 +93,12 @@ int main(int argc, char** argv) {
     ::sigaction(SIGTERM, &sa, nullptr);
 
     std::printf("spectrum_serve: listening on %s:%u (journal dir: %s, "
-                "lru %zu, %d compute slots)\n",
+                "lru %zu entries / %zu bytes, %d compute slots)\n",
                 nopts.bind_address.c_str(), server.port(),
                 sopts.journal_dir.empty() ? "<off>"
                                           : sopts.journal_dir.c_str(),
-                sopts.lru_capacity, sopts.compute_slots);
+                sopts.lru_capacity, sopts.lru_max_bytes,
+                sopts.compute_slots);
     std::fflush(stdout);
     server.serve();
 

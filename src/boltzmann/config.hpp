@@ -25,6 +25,12 @@ namespace plinger::boltzmann {
 /// perturbations.
 enum class InitialConditionType { adiabatic, cdm_isocurvature };
 
+/// Which ODE core advances the mode.  dverk is the paper's Verner 6(5)
+/// (step-clamped sampling, the bitwise-stable default); dop853 is
+/// Hairer's Dormand-Prince 8(5,3) whose dense output answers sample
+/// times by interpolation inside accepted steps.
+enum class IntegratorKind { dverk, dop853 };
+
 /// Numerical controls for the per-mode integration.  The lmax fields are
 /// per-run values; use lmax_photon_for_k() to pick the paper's k-dependent
 /// hierarchy size.
@@ -38,6 +44,8 @@ struct PerturbationConfig {
   std::size_t lmax_neutrino = 32;     ///< massless neutrino hierarchy
   std::size_t lmax_massive_nu = 10;   ///< massive neutrino hierarchy per q
   std::size_t n_q = 0;                ///< massive-nu momentum nodes (0: none)
+
+  IntegratorKind integrator = IntegratorKind::dverk;  ///< ODE core
 
   double rtol = 1e-6;   ///< integrator relative tolerance
   double atol = 1e-12;  ///< integrator absolute tolerance

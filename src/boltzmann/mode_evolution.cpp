@@ -46,6 +46,29 @@ TransferSample make_sample(const ModeEquations& eq, double tau,
   return s;
 }
 
+/// Shared tail of both integrator paths: final transfer outputs at
+/// tau_end plus the flops/cpu accounting.
+ModeResult finalize(ModeResult& result, const ModeEquations& eq,
+                    const PerturbationConfig& cfg, const EvolveRequest& req,
+                    double tau_end, std::span<const double> y, double cpu0) {
+  result.final_state = make_sample(eq, tau_end, y);
+  const StateLayout& L = eq.layout();
+  result.f_gamma.resize(cfg.lmax_photon + 1);
+  result.g_gamma.resize(L.lmax_polarization() + 1);
+  result.f_gamma[0] = y[StateLayout::delta_g];
+  result.f_gamma[1] = 4.0 / (3.0 * req.k) * y[StateLayout::theta_g];
+  for (std::size_t l = 2; l <= cfg.lmax_photon; ++l) {
+    result.f_gamma[l] = y[L.fg(l)];
+  }
+  for (std::size_t l = 0; l <= L.lmax_polarization(); ++l) {
+    result.g_gamma[l] = y[L.gg(l)];
+  }
+
+  result.flops = eq.rhs_calls() * eq.flops_per_rhs();
+  result.cpu_seconds = thread_cpu_seconds() - cpu0;
+  return result;
+}
+
 }  // namespace
 
 ModeResult ModeEvolver::evolve(const EvolveRequest& req,
@@ -134,12 +157,70 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
   result.tau_end = tau_end;
 
   std::vector<double> y = eq.initial_conditions(tau_init);
-  plinger::math::Dverk integrator;
   plinger::math::OdeOptions opts;
   opts.rtol = cfg.rtol;
   opts.atol = cfg.atol;
 
   bool in_tca = tau_switch > tau_init;
+
+  if (cfg.integrator == IntegratorKind::dop853) {
+    // Dense-output path: one integration segment per RHS regime
+    // ([tau_init, tau_switch] tightly coupled, [tau_switch, tau_end]
+    // full hierarchy), with sample times answered by the 7th-order
+    // continuous extension inside accepted steps — the step size is
+    // never clamped to the sample grid.  Boundary semantics mirror the
+    // clamped path: times within 1e-12 of tau_switch/tau_end are
+    // answered from the boundary state (after the TCA handoff), and
+    // near-duplicate times collapse to one sample.
+    std::vector<double> ts(req.sample_taus.begin(), req.sample_taus.end());
+    std::sort(ts.begin(), ts.end());
+    std::vector<double> seg_tca, seg_full;
+    bool sample_at_switch = false, sample_at_end = false;
+    for (double t : ts) {
+      if (t <= tau_init || t >= tau_end) continue;
+      std::vector<double>& seg = (t < tau_switch) ? seg_tca : seg_full;
+      if (!seg.empty() && std::abs(t - seg.back()) < 1e-12) continue;
+      if (std::abs(t - tau_switch) < 1e-12 && in_tca) {
+        sample_at_switch = true;
+      } else if (std::abs(t - tau_end) < 1e-12) {
+        sample_at_end = true;
+      } else {
+        seg.push_back(t);
+      }
+    }
+
+    plinger::math::Dop853 integrator;
+    auto record = [&](double t, std::span<const double> yy) {
+      result.samples.push_back(make_sample(eq, t, yy));
+    };
+    auto run_segment = [&](double t0, double t1, auto&& rhs,
+                           std::span<const double> seg) {
+      const auto stats =
+          integrator.integrate_dense(rhs, t0, t1, y, opts, seg, record);
+      result.stats.n_accepted += stats.n_accepted;
+      result.stats.n_rejected += stats.n_rejected;
+      result.stats.n_rhs += stats.n_rhs;
+    };
+    if (in_tca) {
+      run_segment(tau_init, tau_switch,
+                  [&eq](double t, std::span<const double> yy,
+                        std::span<double> dd) { eq.rhs_tca(t, yy, dd); },
+                  seg_tca);
+      eq.tca_handoff(tau_switch, y);
+      in_tca = false;
+    }
+    if (sample_at_switch) record(tau_switch, y);
+    if (tau_end > tau_switch) {
+      run_segment(std::max(tau_switch, tau_init), tau_end,
+                  [&eq](double t, std::span<const double> yy,
+                        std::span<double> dd) { eq.rhs_full(t, yy, dd); },
+                  seg_full);
+    }
+    if (sample_at_end) record(tau_end, y);
+    return finalize(result, eq, cfg, req, tau_end, y, cpu0);
+  }
+
+  plinger::math::Dverk integrator;
   double t_cur = tau_init;
   for (const Stop& stop : stops) {
     const double t_next = stop.tau;
@@ -167,23 +248,7 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
     }
   }
 
-  // Final outputs at tau_end.
-  result.final_state = make_sample(eq, tau_end, y);
-  const StateLayout& L = eq.layout();
-  result.f_gamma.resize(cfg.lmax_photon + 1);
-  result.g_gamma.resize(L.lmax_polarization() + 1);
-  result.f_gamma[0] = y[StateLayout::delta_g];
-  result.f_gamma[1] = 4.0 / (3.0 * req.k) * y[StateLayout::theta_g];
-  for (std::size_t l = 2; l <= cfg.lmax_photon; ++l) {
-    result.f_gamma[l] = y[L.fg(l)];
-  }
-  for (std::size_t l = 0; l <= L.lmax_polarization(); ++l) {
-    result.g_gamma[l] = y[L.gg(l)];
-  }
-
-  result.flops = eq.rhs_calls() * eq.flops_per_rhs();
-  result.cpu_seconds = thread_cpu_seconds() - cpu0;
-  return result;
+  return finalize(result, eq, cfg, req, tau_end, y, cpu0);
 }
 
 }  // namespace plinger::boltzmann

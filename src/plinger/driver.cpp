@@ -73,7 +73,8 @@ StoreBinding bind_store(const cosmo::Background& bg,
                 bg.params(), cfg, schedule.k_grid(), setup.tau_end,
                 setup.lmax_cap,
                 store::LosIdentity{setup.los.lmax_evolve,
-                                   setup.los.sample_taus})
+                                   setup.los.sample_taus,
+                                   setup.los.k_crossover})
           : store::run_identity(bg.params(), cfg, schedule.k_grid(),
                                 setup.tau_end, setup.lmax_cap);
   b.store = std::make_unique<store::ModeResultStore>(setup.store, id,
@@ -100,9 +101,13 @@ StoreBinding bind_store(const cosmo::Background& bg,
 /// Request shaping shared by the serial and autotask loops: LOS pins
 /// every mode to the short hierarchy and attaches the shared source
 /// sample times; otherwise the historical lmax_cap scaling applies.
+/// solver=auto routes modes below los.k_crossover through the
+/// hierarchy branch — at low k lmax_photon_for_k is already small, so
+/// LOS source sampling costs more than the short hierarchy saves.
 void shape_request(boltzmann::EvolveRequest& req, const RunSetup& setup,
                    double tau_end) {
-  if (setup.los.enabled) {
+  if (setup.los.enabled &&
+      !(setup.los.k_crossover > 0.0 && req.k < setup.los.k_crossover)) {
     req.lmax_photon = setup.los.lmax_evolve;
     req.sample_taus = setup.los.sample_taus;
   } else if (setup.lmax_cap > 0.0) {
@@ -306,8 +311,9 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
                 const double end =
                     tau_end > 0.0 ? tau_end : bg.conformal_age();
                 boltzmann::EvolveRequest r = req;
-                r.lmax_photon = setup.los.lmax_evolve;
-                r.sample_taus = setup.los.sample_taus;
+                // Same routing as the serial/autotask loops, including
+                // the solver=auto k-crossover.
+                shape_request(r, setup, end);
                 return evolver.evolve(r, end);
               },
               recorder.get());

@@ -91,6 +91,11 @@ struct LosRunSpec {
   bool enabled = false;
   std::size_t lmax_evolve = 0;       ///< short hierarchy for every mode
   std::vector<double> sample_taus;   ///< shared source sample times
+  /// solver=auto: modes with k below this threshold skip the LOS
+  /// shaping and evolve the full hierarchy instead (LOS source
+  /// sampling costs more than the short hierarchy saves at low k).
+  /// 0 routes every mode through LOS (solver=los).
+  double k_crossover = 0.0;
 };
 
 /// Run setup broadcast with tag 1 — "a few quantities ... such as the

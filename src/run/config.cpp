@@ -179,6 +179,12 @@ const KeyImpl kKeys[] = {
     PLINGER_KEY_CHOICE("ic", ic, "adiabatic",
                        "initial conditions: adiabatic / isocurvature",
                        "adiabatic", "isocurvature"),
+    PLINGER_KEY_CHOICE("integrator", integrator, "dverk",
+                       "ODE core: dverk (the paper's Verner 6(5), "
+                       "bitwise-stable default) / dop853 (Dormand-"
+                       "Prince 8(5,3) with dense-output sampling; fewer "
+                       "RHS evals at tight rtol)",
+                       "dverk", "dop853"),
     PLINGER_KEY_DOUBLE("rtol", rtol, "1e-5",
                        "integrator relative tolerance"),
     PLINGER_KEY_SIZE("lmax_photon", lmax_photon, "128",
@@ -196,8 +202,9 @@ const KeyImpl kKeys[] = {
                        "hierarchy (full Boltzmann tower, the golden "
                        "reference) / los (short hierarchy + line-of-"
                        "sight projection; held to the hierarchy by the "
-                       "ctest accuracy gate)",
-                       "hierarchy", "los"),
+                       "ctest accuracy gate) / auto (los above the "
+                       "k-crossover where it wins, hierarchy below)",
+                       "hierarchy", "los", "auto"),
     PLINGER_KEY_CHOICE("los_accuracy", los_accuracy, "standard",
                        "LOS sampling tier: draft / standard / high "
                        "(sets lmax_evolve and the source sample "
@@ -300,12 +307,13 @@ void RunConfig::validate() const {
   PLINGER_REQUIRE(lmax_neutrino >= 4, "lmax_neutrino must be >= 4");
   PLINGER_REQUIRE(tau_end >= 0.0, "tau_end must be >= 0 (0 = conformal age)");
   PLINGER_REQUIRE(lmax_cap >= 12.0, "lmax_cap must be >= 12");
-  require_choice("solver", solver, {"hierarchy", "los"});
+  require_choice("solver", solver, {"hierarchy", "los", "auto"});
   require_choice("los_accuracy", los_accuracy,
                  {"draft", "standard", "high"});
+  require_choice("integrator", integrator, {"dverk", "dop853"});
   PLINGER_REQUIRE(tca_eps > 0.0 && tca_eps <= 0.1,
                   "tca_eps out of range (0, 0.1]");
-  if (solver == "los") {
+  if (solver == "los" || solver == "auto") {
     const boltzmann::LosOptions lopts = los_options();
     boltzmann::validate_los_options(lopts);
     // The short hierarchy replaces lmax_photon per mode, so the
@@ -356,6 +364,9 @@ boltzmann::PerturbationConfig RunConfig::perturbation() const {
   cfg.ic_type = ic == "isocurvature"
                     ? boltzmann::InitialConditionType::cdm_isocurvature
                     : boltzmann::InitialConditionType::adiabatic;
+  cfg.integrator = integrator == "dop853"
+                       ? boltzmann::IntegratorKind::dop853
+                       : boltzmann::IntegratorKind::dverk;
   cfg.rtol = rtol;
   cfg.lmax_photon = lmax_photon;
   cfg.lmax_polarization = lmax_polarization;

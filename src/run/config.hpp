@@ -74,6 +74,11 @@ struct RunConfig {
 
   // --- integration ---
   std::string ic = "adiabatic";  ///< adiabatic | isocurvature
+  /// ODE core: dverk (the paper's Verner 6(5), bitwise-stable default)
+  /// | dop853 (Dormand-Prince 8(5,3) with dense-output sampling).
+  /// Folds into the store identity — journals written by different
+  /// integrators never cross-resume.
+  std::string integrator = "dverk";
   double rtol = 1e-5;
   std::size_t lmax_photon = 128;  ///< per-mode cap; see lmax_cap too
   std::size_t lmax_polarization = 32;
@@ -84,7 +89,10 @@ struct RunConfig {
   // --- solver ---
   /// hierarchy (full Boltzmann tower, the golden reference) | los
   /// (short hierarchy + line-of-sight projection; the fast path, held
-  /// to the hierarchy by the ctest `accuracy` gate).
+  /// to the hierarchy by the ctest `accuracy` gate) | auto (los above
+  /// the kAutoSolverCrossoverK wavenumber, hierarchy below — fixes the
+  /// low-k decades where LOS source sampling costs more than the short
+  /// hierarchy saves).
   std::string solver = "hierarchy";
   std::string los_accuracy = "standard";  ///< draft | standard | high
   /// Tight-coupling exit threshold; the PerturbationConfig default.

@@ -42,12 +42,13 @@ RunPlan::RunPlan(RunConfig cfg, std::shared_ptr<const RunContext> ctx)
   // setup_.rtol stays at its wire default: the integrator tolerance is
   // carried by the perturbation config (the historical wiring), and the
   // broadcast slot is a worker cross-check only.
-  if (cfg_.solver == "los") {
+  if (cfg_.solver == "los" || cfg_.solver == "auto") {
     const boltzmann::LosOptions lopts = cfg_.los_options();
     setup_.los.enabled = true;
     setup_.los.lmax_evolve = lopts.lmax_evolve;
     setup_.los.sample_taus = boltzmann::los_sample_taus(
         ctx_->background(), ctx_->recombination(), lopts);
+    if (cfg_.solver == "auto") setup_.los.k_crossover = kAutoSolverCrossoverK;
   }
 }
 
@@ -56,8 +57,8 @@ store::RunIdentity RunPlan::identity() const {
     return store::run_identity(
         ctx_->params(), pcfg_, schedule_.k_grid(), setup_.tau_end,
         setup_.lmax_cap,
-        store::LosIdentity{setup_.los.lmax_evolve,
-                           setup_.los.sample_taus});
+        store::LosIdentity{setup_.los.lmax_evolve, setup_.los.sample_taus,
+                           setup_.los.k_crossover});
   }
   return store::run_identity(ctx_->params(), pcfg_, schedule_.k_grid(),
                              setup_.tau_end, setup_.lmax_cap);

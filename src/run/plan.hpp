@@ -22,6 +22,17 @@
 
 namespace plinger::run {
 
+/// solver=auto routing threshold [1/Mpc]: modes with k below this
+/// evolve the full hierarchy, modes at or above it take the LOS fast
+/// path.  BENCH_los.json (l_max = 1000) puts the per-decade LOS
+/// speedup at 0.14-0.17x for the 1e-5/1e-4 decades and 0.81x at 1e-3 —
+/// the ~240 source sample times cost more than the short hierarchy
+/// saves when lmax_photon_for_k is already small — while the 1e-2
+/// decade wins 11x.  The decade boundary 0.01 is the documented
+/// crossover; it folds into the store identity via
+/// LosIdentity::k_crossover.
+inline constexpr double kAutoSolverCrossoverK = 0.01;
+
 class RunPlan {
  public:
   /// Materializes grid, schedule, perturbation config, and RunSetup

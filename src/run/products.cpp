@@ -42,6 +42,14 @@ SpectrumSet make_spectra(const RunPlan& plan,
     const cosmo::Background& bg = plan.context().background();
     const cosmo::Recombination& rec = plan.context().recombination();
     for (const auto& [ik, r] : out.results) {
+      if (r.samples.empty()) {
+        // solver=auto routed this mode through the full hierarchy (k
+        // below the crossover): its F_l moments are exact, no
+        // projection needed.  Temperature only, matching the LOS
+        // family's product surface.
+        acc.add_mode(r.k, schedule.weight_of_ik(ik), r.f_gamma);
+        continue;
+      }
       const std::vector<double> f_gamma =
           boltzmann::los_f_gamma(bg, rec, r, l_max, table);
       acc.add_mode(r.k, schedule.weight_of_ik(ik), f_gamma);

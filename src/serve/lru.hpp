@@ -9,6 +9,12 @@
 /// is unsynchronized: SpectrumService guards it with the same mutex
 /// that serializes the in-flight coalescing table, keeping the
 /// lookup-then-insert races inside one critical section.
+///
+/// Eviction is governed by two independent budgets: an entry count
+/// (always on) and an optional byte budget over caller-supplied entry
+/// costs (the daemon passes rendered-reply sizes, so memory tracks what
+/// replies actually weigh rather than how many there are).  Either
+/// budget overflowing evicts from the least-recently-used end.
 
 #include <cstddef>
 #include <cstdint>
@@ -25,44 +31,80 @@ class LruCache {
  public:
   /// A capacity of 0 disables caching entirely (every get misses,
   /// every put is dropped) — the daemon's "no memory tier" switch.
-  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+  /// max_bytes bounds the sum of entry costs; 0 means the byte budget
+  /// is off and only the entry count governs eviction.
+  explicit LruCache(std::size_t capacity, std::size_t max_bytes = 0)
+      : capacity_(capacity), max_bytes_(max_bytes) {}
 
   std::size_t capacity() const { return capacity_; }
+  std::size_t max_bytes() const { return max_bytes_; }
   std::size_t size() const { return map_.size(); }
+  /// Sum of the costs of resident entries.
+  std::size_t bytes_held() const { return bytes_held_; }
+  /// Cumulative cost of everything evicted over the budget (overwrites
+  /// of a live key do not count — the key stayed resident).
+  std::size_t bytes_evicted() const { return bytes_evicted_; }
 
   /// The cached value, promoted to most-recently-used; null on a miss.
   std::shared_ptr<const V> get(std::uint64_t key) {
     const auto it = map_.find(key);
     if (it == map_.end()) return nullptr;
     order_.splice(order_.begin(), order_, it->second);
-    return it->second->second;
+    return it->second->value;
   }
 
   /// Insert (or overwrite) key as most-recently-used, evicting from the
-  /// least-recently-used end to stay within capacity.
-  void put(std::uint64_t key, std::shared_ptr<const V> value) {
+  /// least-recently-used end to stay within both budgets.  `bytes` is
+  /// this entry's cost against max_bytes (ignored when the byte budget
+  /// is off, harmless to pass anyway).
+  void put(std::uint64_t key, std::shared_ptr<const V> value,
+           std::size_t bytes = 0) {
     PLINGER_REQUIRE(value != nullptr, "LruCache: null value");
     if (capacity_ == 0) return;
     const auto it = map_.find(key);
     if (it != map_.end()) {
-      it->second->second = std::move(value);
+      bytes_held_ -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      bytes_held_ += bytes;
       order_.splice(order_.begin(), order_, it->second);
+      evict_over_budget();
       return;
     }
-    order_.emplace_front(key, std::move(value));
+    order_.push_front(Entry{key, std::move(value), bytes});
     map_.emplace(key, order_.begin());
-    while (map_.size() > capacity_) {
-      map_.erase(order_.back().first);
-      order_.pop_back();
-    }
+    bytes_held_ += bytes;
+    evict_over_budget();
   }
 
   /// Present without promoting (tests and stats).
   bool contains(std::uint64_t key) const { return map_.count(key) != 0; }
 
  private:
-  using Entry = std::pair<std::uint64_t, std::shared_ptr<const V>>;
+  struct Entry {
+    std::uint64_t key;
+    std::shared_ptr<const V> value;
+    std::size_t bytes;
+  };
+
+  void evict_over_budget() {
+    while (map_.size() > capacity_ ||
+           (max_bytes_ > 0 && bytes_held_ > max_bytes_ && map_.size() > 1)) {
+      // The size() > 1 guard keeps one oversized entry resident rather
+      // than thrashing an empty cache: a reply bigger than the whole
+      // budget would otherwise never be servable from tier 1.
+      const Entry& back = order_.back();
+      bytes_held_ -= back.bytes;
+      bytes_evicted_ += back.bytes;
+      map_.erase(back.key);
+      order_.pop_back();
+    }
+  }
+
   std::size_t capacity_;
+  std::size_t max_bytes_;
+  std::size_t bytes_held_ = 0;
+  std::size_t bytes_evicted_ = 0;
   std::list<Entry> order_;  ///< front = most recent
   std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator>
       map_;

@@ -220,6 +220,9 @@ void SpectrumServer::handle_connection(int fd) {
         out += "STAT computes " + std::to_string(s.computes) + "\n";
         out += "STAT coalesced " + std::to_string(s.coalesced) + "\n";
         out += "STAT lru_size " + std::to_string(s.lru_size) + "\n";
+        out += "STAT lru_bytes " + std::to_string(s.lru_bytes) + "\n";
+        out += "STAT lru_evicted_bytes " +
+               std::to_string(s.lru_evicted_bytes) + "\n";
         out += "STAT in_flight " + std::to_string(s.in_flight) + "\n";
         out += "DONE\n";
         keep = send_all(fd, out);

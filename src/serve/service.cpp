@@ -80,7 +80,7 @@ void ProgressHub::notify(std::size_t done, std::size_t total) {
 
 SpectrumService::SpectrumService(ServeOptions opts)
     : opts_(std::move(opts)),
-      lru_(opts_.lru_capacity),
+      lru_(opts_.lru_capacity, opts_.lru_max_bytes),
       slots_free_(opts_.compute_slots) {
   PLINGER_REQUIRE(opts_.compute_slots >= 1,
                   "SpectrumService: compute_slots must be >= 1");
@@ -278,7 +278,7 @@ Answer SpectrumService::answer(const run::RunConfig& cfg_in,
     // A degraded answer is served but never memoized: the journal holds
     // whatever completed, so the next request resumes the residual
     // instead of replaying an incomplete spectrum forever.
-    if (!body->degraded) lru_.put(id, body);
+    if (!body->degraded) lru_.put(id, body, body->payload.size());
     inflight_.erase(id);
   }
   mine.set_value(body);
@@ -289,6 +289,8 @@ ServeStats SpectrumService::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   ServeStats s = stats_;
   s.lru_size = lru_.size();
+  s.lru_bytes = lru_.bytes_held();
+  s.lru_evicted_bytes = lru_.bytes_evicted();
   s.in_flight = inflight_.size();
   return s;
 }

@@ -60,6 +60,13 @@ struct ServeOptions {
   /// Finished answers kept in memory (tier 1).  0 disables the LRU.
   std::size_t lru_capacity = 64;
 
+  /// Byte budget over the rendered-reply sizes held in the LRU; 0
+  /// leaves eviction purely count-based.  With a budget, memory tracks
+  /// what cached replies actually weigh (a high-l_max reply is
+  /// thousands of CL lines; a draft one a handful), not how many
+  /// identities happen to be hot.
+  std::size_t lru_max_bytes = 0;
+
   /// Concurrent RunPlan::execute() calls (each still uses its config's
   /// own driver/worker settings internally).
   int compute_slots = 2;
@@ -107,6 +114,8 @@ struct ServeStats {
   std::uint64_t computes = 0;
   std::uint64_t coalesced = 0;  ///< requests that joined an in-flight build
   std::size_t lru_size = 0;
+  std::size_t lru_bytes = 0;          ///< rendered-reply bytes resident
+  std::size_t lru_evicted_bytes = 0;  ///< cumulative bytes evicted
   std::size_t in_flight = 0;
 };
 

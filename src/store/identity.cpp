@@ -69,6 +69,14 @@ RunIdentity run_identity(const cosmo::CosmoParams& params,
   h.add(cfg.early_a_factor);
   h.add(cfg.tca_eps);
   h.add(cfg.tca_exit_z);
+  // The integrator core changes every trajectory.  Hashed only when it
+  // departs from the historical default so every pre-existing dverk
+  // journal keeps its stamp (the salt keeps a dop853 run from ever
+  // colliding with a hashed-field-set change).
+  if (cfg.integrator != boltzmann::IntegratorKind::dverk) {
+    h.add(std::uint64_t{3});  // integrator-family salt
+    h.add(static_cast<std::uint64_t>(cfg.integrator));
+  }
 
   // The grid and the broadcast physics setup.
   h.add(static_cast<std::uint64_t>(k_grid.size()));
@@ -92,6 +100,14 @@ RunIdentity run_identity(const cosmo::CosmoParams& params,
   h.add(static_cast<std::uint64_t>(los.lmax_evolve));
   h.add(static_cast<std::uint64_t>(los.sample_taus.size()));
   for (const double t : los.sample_taus) h.add(t);
+  // solver=auto: modes below the crossover carry hierarchy-shaped
+  // records inside an otherwise-LOS journal, so the routing threshold
+  // is part of the identity.  Hashed only when set, preserving every
+  // existing solver=los stamp (k_crossover = 0).
+  if (los.k_crossover > 0.0) {
+    h.add(std::uint64_t{4});  // auto-routing salt
+    h.add(los.k_crossover);
+  }
   return RunIdentity{h.digest()};
 }
 

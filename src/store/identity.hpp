@@ -54,6 +54,10 @@ RunIdentity run_identity(const cosmo::CosmoParams& params,
 struct LosIdentity {
   std::size_t lmax_evolve = 0;
   std::span<const double> sample_taus;
+  /// solver=auto routing threshold: modes with k below this evolve the
+  /// full hierarchy (no samples) inside an LOS journal.  0 = pure LOS
+  /// (the historical stamp, unchanged).
+  double k_crossover = 0.0;
 };
 
 /// Identity of a line-of-sight run: the base hash over the same inputs,

@@ -81,3 +81,77 @@ TEST(LruCache, NullValueIsRejected) {
   sv::LruCache<std::string> lru(2);
   EXPECT_THROW(lru.put(1, nullptr), plinger::InvalidArgument);
 }
+
+TEST(LruCache, ByteBudgetEvictsByCost) {
+  sv::LruCache<std::string> lru(100, /*max_bytes=*/100);
+  lru.put(1, val("a"), 40);
+  lru.put(2, val("b"), 40);
+  EXPECT_EQ(lru.bytes_held(), 80u);
+  EXPECT_EQ(lru.bytes_evicted(), 0u);
+  // 40 + 40 + 40 > 100: the least recent entry goes, despite the entry
+  // count being far under capacity.
+  lru.put(3, val("c"), 40);
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_FALSE(lru.contains(1));
+  EXPECT_TRUE(lru.contains(2));
+  EXPECT_TRUE(lru.contains(3));
+  EXPECT_EQ(lru.bytes_held(), 80u);
+  EXPECT_EQ(lru.bytes_evicted(), 40u);
+}
+
+TEST(LruCache, ByteBudgetRespectsRecency) {
+  sv::LruCache<std::string> lru(100, 100);
+  lru.put(1, val("a"), 40);
+  lru.put(2, val("b"), 40);
+  EXPECT_NE(lru.get(1), nullptr);  // 2 is now least recent
+  lru.put(3, val("c"), 40);
+  EXPECT_TRUE(lru.contains(1));
+  EXPECT_FALSE(lru.contains(2));
+}
+
+TEST(LruCache, ByteBudgetEvictsSeveralForOneLargeEntry) {
+  sv::LruCache<std::string> lru(100, 100);
+  lru.put(1, val("a"), 30);
+  lru.put(2, val("b"), 30);
+  lru.put(3, val("c"), 30);
+  lru.put(4, val("big"), 90);  // must displace all three
+  EXPECT_EQ(lru.size(), 1u);
+  EXPECT_TRUE(lru.contains(4));
+  EXPECT_EQ(lru.bytes_held(), 90u);
+  EXPECT_EQ(lru.bytes_evicted(), 90u);
+}
+
+TEST(LruCache, OversizedEntryStaysResidentAlone) {
+  // A reply bigger than the whole budget is kept (alone) rather than
+  // thrashing an empty cache.
+  sv::LruCache<std::string> lru(100, 50);
+  lru.put(1, val("huge"), 200);
+  EXPECT_EQ(lru.size(), 1u);
+  EXPECT_EQ(lru.bytes_held(), 200u);
+  lru.put(2, val("next"), 10);  // evicts the oversized one
+  EXPECT_FALSE(lru.contains(1));
+  EXPECT_TRUE(lru.contains(2));
+  EXPECT_EQ(lru.bytes_held(), 10u);
+  EXPECT_EQ(lru.bytes_evicted(), 200u);
+}
+
+TEST(LruCache, OverwriteAdjustsBytesWithoutCountingEviction) {
+  sv::LruCache<std::string> lru(100, 100);
+  lru.put(1, val("a"), 60);
+  lru.put(1, val("a2"), 20);  // same key: cost replaced, nothing evicted
+  EXPECT_EQ(lru.bytes_held(), 20u);
+  EXPECT_EQ(lru.bytes_evicted(), 0u);
+  EXPECT_EQ(*lru.get(1), "a2");
+}
+
+TEST(LruCache, ZeroMaxBytesKeepsCountOnlySemantics) {
+  sv::LruCache<std::string> lru(2);  // no byte budget
+  lru.put(1, val("a"), 1'000'000);
+  lru.put(2, val("b"), 1'000'000);
+  EXPECT_EQ(lru.size(), 2u);  // any byte total fits
+  EXPECT_EQ(lru.bytes_held(), 2'000'000u);
+  lru.put(3, val("c"), 5);  // count eviction still applies
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_FALSE(lru.contains(1));
+  EXPECT_EQ(lru.bytes_evicted(), 1'000'000u);
+}

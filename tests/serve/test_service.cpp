@@ -191,6 +191,33 @@ TEST(SpectrumService, LruEvictionFallsBackToJournal) {
   fs::remove_all(dir);
 }
 
+TEST(SpectrumService, ByteBudgetEvictionReportsBytes) {
+  sv::ServeOptions opts;  // LRU-only service
+  sv::SpectrumService service(opts);
+
+  const sv::Answer a0 = service.answer(fast_config(0));
+  const sv::ServeStats after_one = service.stats();
+  EXPECT_EQ(after_one.lru_bytes, a0.body->payload.size());
+  EXPECT_EQ(after_one.lru_evicted_bytes, 0u);
+
+  // A budget of one payload: the second distinct identity evicts the
+  // first, and the stats account for exactly its rendered size.
+  sv::ServeOptions tight;
+  tight.lru_max_bytes = a0.body->payload.size() + 1;
+  sv::SpectrumService budgeted(tight);
+  const sv::Answer b0 = budgeted.answer(fast_config(0));
+  const sv::Answer b1 = budgeted.answer(fast_config(1));
+  const sv::ServeStats s = budgeted.stats();
+  EXPECT_EQ(s.lru_size, 1u);
+  EXPECT_EQ(s.lru_bytes, b1.body->payload.size());
+  EXPECT_EQ(s.lru_evicted_bytes, b0.body->payload.size());
+
+  // The evicted identity recomputes (no journal dir to fall back on).
+  const sv::Answer again = budgeted.answer(fast_config(0));
+  EXPECT_EQ(again.tier, sv::Tier::compute);
+  EXPECT_EQ(again.body->payload, b0.body->payload);
+}
+
 TEST(SpectrumService, InvalidConfigThrowsAndCachesNothing) {
   sv::SpectrumService service(sv::ServeOptions{});
   rn::RunConfig bad = fast_config();

@@ -1,0 +1,87 @@
+// plinger_worker: the worker side of a cross-process PLINGER run.
+//
+// A transport=tcp run splits the historical single process in two:
+// linger_cli (or any RunPlan::execute() caller) is the master — it
+// listens on tcp_listen, accepts workers, and runs the Appendix-A
+// master loop — and each plinger_worker process connects, receives a
+// rank in the rendezvous handshake, and serves mode-integration
+// requests until the stop broadcast.
+//
+// Usage:
+//   plinger_worker params.ini [--connect host:port]
+//
+// The parameter file must be the SAME file the master reads: the tag-1
+// init broadcast carries only 5 doubles (the schedule size and
+// tolerances as a cross-check), so the cosmology, k-grid, and solver
+// configuration are rebuilt here from the shared config.  A mismatched
+// file fails the n_k cross-check at startup rather than corrupting the
+// run.  --connect overrides the file's tcp_connect key, so one file can
+// serve both sides (tcp_listen for the master, the override here).
+//
+// The process exits 0 after a clean stop broadcast AND when the master
+// link drops — a worker outliving its master has nothing left to do.
+// The wire protocol is specified byte-for-byte in docs/protocol.md
+// ("TCP transport wire grammar").
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "io/params.hpp"
+#include "run/config.hpp"
+#include "run/plan.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plinger;
+
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: plinger_worker params.ini [--connect host:port]\n");
+    return 1;
+  }
+  std::string connect_override;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_override = argv[++i];
+    } else {
+      std::fprintf(stderr, "plinger_worker: unknown argument '%s'\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+
+  run::ConfigParse parsed;
+  try {
+    parsed = run::parse_config(io::read_params_file(argv[1]));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plinger_worker: %s\n", e.what());
+    return 1;
+  }
+  for (const std::string& key : parsed.unknown_keys) {
+    std::fprintf(stderr, "plinger_worker: warning: unrecognized key '%s'\n",
+                 key.c_str());
+  }
+  run::RunConfig cfg = parsed.config;
+  cfg.transport = "tcp";
+  if (!connect_override.empty()) cfg.tcp_connect = connect_override;
+  if (cfg.tcp_connect.empty() && !cfg.tcp_listen.empty()) {
+    // Convenience: a master-side file names only tcp_listen; dial it.
+    cfg.tcp_connect = cfg.tcp_listen;
+  }
+  // The worker never touches the journal — the master owns the store.
+  cfg.store.clear();
+
+  try {
+    const auto ctx = run::make_context(cfg);
+    const run::RunPlan plan(cfg, ctx);
+    std::printf("plinger_worker: joining %s (%zu modes scheduled)\n",
+                cfg.tcp_connect.c_str(), plan.schedule().size());
+    plan.execute_worker();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plinger_worker: %s\n", e.what());
+    return 1;
+  }
+  std::printf("plinger_worker: done\n");
+  return 0;
+}

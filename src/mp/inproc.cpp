@@ -28,13 +28,18 @@ void InProcWorld::send(int from, int to, int tag,
   msg.source = from;
   msg.payload.assign(data.begin(), data.end());
   const std::size_t bytes = msg.size_bytes();
+  enqueue_local(to, std::move(msg));
+  count_send(from, to, tag, bytes);
+}
 
-  {
-    Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
-    const std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(std::move(msg));
-    box.cv.notify_all();
-  }
+void InProcWorld::enqueue_local(int to, Message msg) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  box.queue.push_back(std::move(msg));
+  box.cv.notify_all();
+}
+
+void InProcWorld::count_send(int from, int to, int tag, std::size_t bytes) {
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.n_messages;

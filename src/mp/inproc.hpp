@@ -90,6 +90,20 @@ class InProcWorld {
       std::function<void(int from, int to, int tag, std::size_t bytes)>;
   void set_send_observer(SendObserver observer);
 
+ protected:
+  /// Enqueue an already-built message into `to`'s local mailbox and wake
+  /// its waiters, without touching the counters.  Transport backends
+  /// (tcp_world.hpp) deliver off-host arrivals through this seam.
+  void enqueue_local(int to, Message msg);
+
+  /// Record one message in the transport counters and fire the send
+  /// observer — exactly the accounting send() performs after enqueueing.
+  /// Backends call it for traffic that never passes through send()
+  /// (frames arriving from a socket).
+  void count_send(int from, int to, int tag, std::size_t bytes);
+
+  void check_rank(int rank) const;
+
  private:
   struct Mailbox {
     mutable std::mutex mutex;
@@ -98,7 +112,6 @@ class InProcWorld {
   };
 
   const Message* find_match(const Mailbox& box, int source, int tag) const;
-  void check_rank(int rank) const;
 
   Library lib_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;

@@ -116,6 +116,43 @@ void shape_request(boltzmann::EvolveRequest& req, const RunSetup& setup,
   }
 }
 
+/// A worker that dies right after delivering the run's final result can
+/// leave its tag-7 death notice unread: the master exits the moment the
+/// schedule completes, and that exit is indistinguishable from a clean
+/// shutdown.  Once sends are quiescent (threads joined, or the TCP run
+/// wound down) a non-blocking sweep settles the accounting.
+void sweep_late_notices(mp::InProcWorld& world, RunOutput& out,
+                        TraceRecorder* recorder) {
+  while (const auto pr =
+             world.probe_for(0, mp::kAnySource, mp::kAnyTag, 0.0)) {
+    std::vector<double> buf(pr->length, 0.0);
+    world.recv(0, pr->source, pr->tag, buf);
+    if (pr->tag != kTagError || buf.size() < 2 ||
+        buf[1] != kFailureCodeWorkerLost) {
+      continue;  // a stale non-failure message; drop it
+    }
+    auto& lost = out.master.lost_workers;
+    if (std::find(lost.begin(), lost.end(), pr->source) == lost.end()) {
+      lost.push_back(pr->source);
+      if (recorder) {
+        recorder->record_fault(FaultEvent::Kind::worker_lost, pr->source,
+                               0);
+      }
+    }
+  }
+}
+
+/// Shared degraded-completion rollup (mirrors MasterStats into the
+/// run-output counters).
+void settle_degraded(RunOutput& out) {
+  out.n_modes_reassigned = out.master.n_reassigned;
+  out.n_workers_lost = out.master.lost_workers.size();
+  out.completed_degraded = out.n_workers_lost > 0 ||
+                           !out.master.quarantined_ik.empty() ||
+                           !out.master.failed_ik.empty() ||
+                           out.master.all_workers_lost;
+}
+
 }  // namespace
 
 RunOutput run_linger_serial(const cosmo::Background& bg,
@@ -357,40 +394,114 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
   threads.clear();  // join
   if (first_error) std::rethrow_exception(first_error);
 
-  // A worker that dies right after delivering the run's final result
-  // can leave its tag-7 death notice unread: the master exits the
-  // moment the schedule completes, and that exit is indistinguishable
-  // from a clean shutdown.  After the join every notice is guaranteed
-  // queued, so a non-blocking sweep settles the accounting.
-  while (const auto pr =
-             world.probe_for(0, mp::kAnySource, mp::kAnyTag, 0.0)) {
-    std::vector<double> buf(pr->length, 0.0);
-    world.recv(0, pr->source, pr->tag, buf);
-    if (pr->tag != kTagError || buf.size() < 2 ||
-        buf[1] != kFailureCodeWorkerLost) {
-      continue;  // a stale non-failure message; drop it
-    }
-    auto& lost = out.master.lost_workers;
-    if (std::find(lost.begin(), lost.end(), pr->source) == lost.end()) {
-      lost.push_back(pr->source);
-      if (recorder) {
-        recorder->record_fault(FaultEvent::Kind::worker_lost, pr->source,
-                               0);
-      }
-    }
-  }
-
-  out.n_modes_reassigned = out.master.n_reassigned;
-  out.n_workers_lost = out.master.lost_workers.size();
-  out.completed_degraded = out.n_workers_lost > 0 ||
-                           !out.master.quarantined_ik.empty() ||
-                           !out.master.failed_ik.empty() ||
-                           out.master.all_workers_lost;
+  // After the join every notice is guaranteed queued.
+  sweep_late_notices(world, out, recorder.get());
+  settle_degraded(out);
 
   out.wallclock_seconds = wallclock_seconds() - w0;
   out.transport = world.stats();
   attach_trace(out, std::move(recorder), n_workers);
   return out;
+}
+
+RunOutput run_plinger_tcp(const cosmo::Background& bg,
+                          const cosmo::Recombination& rec,
+                          const boltzmann::PerturbationConfig& cfg,
+                          const KSchedule& schedule, const RunSetup& setup,
+                          mp::TcpWorld& world) {
+  // The master never integrates, so the recombination tables are only
+  // part of the signature for symmetry with the other drivers.
+  (void)rec;
+  PLINGER_REQUIRE(world.local_rank() == 0,
+                  "run_plinger_tcp: the master must hold rank 0");
+  const int n_workers = world.size() - 1;
+  RunOutput out;
+  out.n_workers = n_workers;
+  const double w0 = wallclock_seconds();
+
+  std::unique_ptr<TraceRecorder> recorder;
+  if (setup.trace.enabled) {
+    recorder = std::make_unique<TraceRecorder>(setup.trace);
+    if (setup.trace.capture_messages) {
+      // The TCP world counts both directions at the master, so the tap
+      // sees the same tag traffic the in-process observer would.
+      world.set_send_observer(
+          [r = recorder.get()](int from, int to, int tag,
+                               std::size_t bytes) {
+            r->record_message(tag, from, to, bytes);
+          });
+    }
+  }
+
+  StoreBinding store =
+      bind_store(bg, cfg, schedule, setup, out, recorder.get());
+
+  // Master loop on the calling thread, exactly as in the threads driver;
+  // the worker ranks live in other processes behind the sockets.
+  {
+    mp::PassContext ctx = mp::initpass(world, 0);
+    StopPredicate stop_early;
+    if (store.store) {
+      stop_early = [&store] { return store.store->stop_requested(); };
+    }
+    out.master = run_master(
+        ctx, store.effective(schedule), setup,
+        [&out, &store](std::size_t ik, const ModeResult& r) {
+          if (store.store) store.store->append(ik, r);
+          ++out.n_modes_computed;
+          out.total_worker_cpu_seconds += r.cpu_seconds;
+          out.total_flops += r.flops;
+          out.results.emplace(ik, r);
+        },
+        setup.fault.max_retries, recorder.get(), stop_early);
+    mp::endpass(ctx);
+  }
+
+  // Unlike the threads driver there is no join barrier, so a death
+  // notice racing the final result is only best-effort here; anything
+  // already queued is settled.
+  sweep_late_notices(world, out, recorder.get());
+  settle_degraded(out);
+
+  out.wallclock_seconds = wallclock_seconds() - w0;
+  out.transport = world.stats();
+  attach_trace(out, std::move(recorder), n_workers);
+  return out;
+}
+
+void run_plinger_tcp_worker(const cosmo::Background& bg,
+                            const cosmo::Recombination& rec,
+                            const boltzmann::PerturbationConfig& cfg,
+                            const KSchedule& schedule,
+                            const RunSetup& setup, mp::TcpWorld& world) {
+  PLINGER_REQUIRE(world.local_rank() >= 1,
+                  "run_plinger_tcp_worker: rank 0 is the master");
+  const auto cache = run_cache(bg, rec, setup);
+  ModeEvolver evolver(bg, rec, cfg, cache);
+  try {
+    mp::PassContext ctx = mp::initpass(world, world.local_rank());
+    if (setup.los.enabled) {
+      // Same host-side shaping as the threads driver: the tag-1
+      // broadcast does not carry LOS state, so every process that runs
+      // workers must pin it identically for bitwise-equal results.
+      run_worker(ctx, schedule,
+                 [&evolver, &bg, &setup](
+                     const boltzmann::EvolveRequest& req, double tau_end) {
+                   const double end =
+                       tau_end > 0.0 ? tau_end : bg.conformal_age();
+                   boltzmann::EvolveRequest r = req;
+                   shape_request(r, setup, end);
+                   return evolver.evolve(r, end);
+                 },
+                 nullptr);
+    } else {
+      run_worker(ctx, schedule, evolver, nullptr);
+    }
+    mp::endpass(ctx);
+  } catch (const mp::PeerLost&) {
+    // The master is gone; whatever it still wanted is unknowable.  The
+    // worker winds down cleanly — master-side recovery owns the rest.
+  }
 }
 
 }  // namespace plinger::parallel

@@ -19,6 +19,7 @@
 
 #include "boltzmann/mode_evolution.hpp"
 #include "mp/inproc.hpp"
+#include "mp/tcp_world.hpp"
 #include "plinger/protocol.hpp"
 #include "plinger/schedule.hpp"
 #include "plinger/trace.hpp"
@@ -97,5 +98,29 @@ RunOutput run_plinger_threads(const cosmo::Background& bg,
                               const KSchedule& schedule,
                               const RunSetup& setup, int n_workers,
                               mp::Library library = mp::Library::mpisim);
+
+/// Master side of a cross-process PLINGER run over a TcpWorld that has
+/// already accepted its workers (mp/tcp_world.hpp).  Same semantics and
+/// accounting as run_plinger_threads — store binding, trace hooks, the
+/// full recovery machinery — with the worker ranks living in other
+/// processes: a dropped connection surfaces as the tag-7 death notice
+/// and the mode is reassigned.  Completed results are bitwise identical
+/// to the in-process drivers.
+RunOutput run_plinger_tcp(const cosmo::Background& bg,
+                          const cosmo::Recombination& rec,
+                          const boltzmann::PerturbationConfig& cfg,
+                          const KSchedule& schedule, const RunSetup& setup,
+                          mp::TcpWorld& world);
+
+/// Worker side of a cross-process run: serve the remote master until
+/// stopped.  Applies the same host-side LOS/auto request shaping as the
+/// in-process drivers (the tag-1 broadcast does not carry it), so
+/// results are bitwise identical.  Returns quietly when the master link
+/// goes down — a worker outliving its master has nothing left to do.
+void run_plinger_tcp_worker(const cosmo::Background& bg,
+                            const cosmo::Recombination& rec,
+                            const boltzmann::PerturbationConfig& cfg,
+                            const KSchedule& schedule,
+                            const RunSetup& setup, mp::TcpWorld& world);
 
 }  // namespace plinger::parallel

@@ -221,6 +221,20 @@ const KeyImpl kKeys[] = {
     PLINGER_KEY_INT("workers", workers, "2",
                     "worker ranks or threads (threads driver world size "
                     "is workers + 1)"),
+    // --- transport ---
+    PLINGER_KEY_CHOICE("transport", transport, "inproc",
+                       "threads-driver message transport: inproc "
+                       "(in-process mailboxes) / tcp (cross-process "
+                       "sockets; the master listens on tcp_listen and "
+                       "plinger_worker processes join it)",
+                       "inproc", "tcp"),
+    PLINGER_KEY_STRING("tcp_listen", tcp_listen, "*(empty)*",
+                       "transport = tcp, master side: listen endpoint "
+                       "host:port (port 0 = kernel-assigned)"),
+    PLINGER_KEY_STRING("tcp_connect", tcp_connect, "*(empty)*",
+                       "transport = tcp, worker side: the master "
+                       "endpoint host:port a plinger_worker process "
+                       "joins"),
     // --- checkpoint store ---
     PLINGER_KEY_STRING("store", store, "*(empty)*",
                        "checkpoint journal path; empty = no "
@@ -323,6 +337,15 @@ void RunConfig::validate() const {
                     "accuracy tier's lmax_evolve");
   }
   PLINGER_REQUIRE(workers >= 1, "workers must be >= 1");
+  require_choice("transport", transport, {"inproc", "tcp"});
+  if (transport == "tcp") {
+    PLINGER_REQUIRE(driver == "threads",
+                    "transport = tcp requires driver = threads (the "
+                    "serial/autotask drivers have no message passing)");
+    PLINGER_REQUIRE(!tcp_listen.empty() || !tcp_connect.empty(),
+                    "transport = tcp needs tcp_listen (master) or "
+                    "tcp_connect (worker process)");
+  }
   PLINGER_REQUIRE(fault_timeout >= 0.0, "fault_timeout must be >= 0");
   PLINGER_REQUIRE(max_retries >= 0, "max_retries must be >= 0");
   // The cosmology budget: materializing throws on a closure with no

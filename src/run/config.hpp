@@ -102,6 +102,16 @@ struct RunConfig {
   std::string driver = "threads";  ///< serial | autotask | threads
   int workers = 2;
 
+  // --- transport (threads driver) ---
+  /// inproc (in-process mailboxes, the historical world) | tcp
+  /// (cross-process sockets: the master listens on tcp_listen and
+  /// workers join from other processes via plinger_worker).  Pure
+  /// scheduling — never part of the store identity; results are
+  /// bitwise identical across transports.
+  std::string transport = "inproc";
+  std::string tcp_listen;   ///< master listen endpoint host:port
+  std::string tcp_connect;  ///< worker-process connect endpoint host:port
+
   // --- checkpoint store ---
   std::string store;  ///< journal path; empty = no checkpointing
   bool resume = true;

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "common/error.hpp"
 #include "math/spline.hpp"
+#include "mp/tcp_world.hpp"
 #include "spectra/cl.hpp"
 
 namespace plinger::run {
@@ -94,8 +96,29 @@ parallel::RunOutput RunPlan::execute() const {
     return parallel::run_linger_autotask(bg, rec, pcfg_, schedule_,
                                          setup_, cfg_.workers);
   }
+  if (cfg_.transport == "tcp") {
+    PLINGER_REQUIRE(!cfg_.tcp_listen.empty(),
+                    "transport = tcp: the master needs tcp_listen "
+                    "(host:port); worker processes use execute_worker()");
+    const mp::TcpEndpoint ep = mp::parse_endpoint(cfg_.tcp_listen);
+    auto world = mp::TcpWorld::listen(ep.host, ep.port, cfg_.workers);
+    world->accept_workers();
+    return parallel::run_plinger_tcp(bg, rec, pcfg_, schedule_, setup_,
+                                     *world);
+  }
   return parallel::run_plinger_threads(bg, rec, pcfg_, schedule_, setup_,
                                        cfg_.workers);
+}
+
+void RunPlan::execute_worker() const {
+  PLINGER_REQUIRE(cfg_.transport == "tcp" && !cfg_.tcp_connect.empty(),
+                  "execute_worker needs transport = tcp and tcp_connect "
+                  "(the master's host:port)");
+  const mp::TcpEndpoint ep = mp::parse_endpoint(cfg_.tcp_connect);
+  auto world = mp::TcpWorld::connect(ep.host, ep.port);
+  parallel::run_plinger_tcp_worker(ctx_->background(),
+                                   ctx_->recombination(), pcfg_, schedule_,
+                                   setup_, *world);
 }
 
 parallel::RunOutput execute_run(const RunConfig& cfg) {

@@ -68,8 +68,20 @@ class RunPlan {
   double estimated_cost() const;
 
   /// Run the configured driver over the schedule.  Respects everything
-  /// in setup(), including caller mutations.
+  /// in setup(), including caller mutations.  With transport = tcp this
+  /// is the master side: it listens on cfg().tcp_listen, blocks in
+  /// accept_workers() until cfg().workers plinger_worker processes have
+  /// joined (or the accept window closes), and runs the same recovery
+  /// machinery as the in-process threads driver.
   parallel::RunOutput execute() const;
+
+  /// Worker side of a transport = tcp run: connect to cfg().tcp_connect
+  /// and serve the remote master until stopped (or until the master
+  /// link drops).  The config must carry the same physics surface as
+  /// the master's — the tag-1 broadcast cross-checks the schedule size
+  /// and tolerances.  This is what the plinger_worker example binary
+  /// calls.
+  void execute_worker() const;
 
  private:
   RunConfig cfg_;

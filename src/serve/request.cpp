@@ -29,8 +29,11 @@ const std::vector<std::string>& command_names() {
 bool is_reserved_key(const std::string& key) {
   // Persistence and trace wiring are the daemon's: it keys journals by
   // run identity and owns the progress feed.
+  // Transport wiring too: the daemon always runs in-process, and a
+  // request must not make it listen on or dial arbitrary sockets.
   return key == "store" || key == "resume" || key == "flush_interval" ||
-         key == "stop_after" || key == "trace" || key == "trace_json";
+         key == "stop_after" || key == "trace" || key == "trace_json" ||
+         key == "transport" || key == "tcp_listen" || key == "tcp_connect";
 }
 
 RequestParse parse_request(const std::string& command_line,

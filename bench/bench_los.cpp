@@ -21,6 +21,7 @@
 //             wiring, `check-accuracy` target)
 //   --out     explicit output path (overrides both defaults)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -140,10 +141,18 @@ int main(int argc, char** argv) {
   }
 
   // The accuracy companion: worst relative C_l^TT deviation, raw
-  // (normalization divided back out).
+  // (normalization divided back out).  The projection itself is timed
+  // too — the unified SourceTable pipeline folds T and E kernels in
+  // one pass, so this is the cost of all three spectra, not just TT.
+  t0 = wallclock_seconds();
   const auto spec_hier = run::make_spectra(hier_plan, hier_out, l_max);
+  const double proj_hier = wallclock_seconds() - t0;
+  t0 = wallclock_seconds();
   const auto spec_los = run::make_spectra(los_plan, los_out, l_max);
+  const double proj_los = wallclock_seconds() - t0;
+  t0 = wallclock_seconds();
   const auto spec_auto = run::make_spectra(auto_plan, auto_out, l_max);
+  const double proj_auto = wallclock_seconds() - t0;
   double worst_rel = 0.0, worst_rel_auto = 0.0;
   for (std::size_t l = 2; l <= l_max; ++l) {
     const double a = spec_hier.temperature.cl[l] / spec_hier.cobe_factor;
@@ -154,14 +163,79 @@ int main(int argc, char** argv) {
         std::max(worst_rel_auto, std::abs(c - a) / std::abs(a));
   }
 
+  // EE/TE arms.  The speed arms above keep their lean polarization
+  // towers (the TT speed record's baseline), so their EE is truncated
+  // at the tower top and is no reference; the deviation is measured
+  // against a dedicated tall-tower hierarchy run over the same k grid
+  // — the ctest accuracy gate's construction (compared through
+  // l = 160, denominators guarded by a fraction of the spectrum's
+  // peak), except the polarization tower rides the full per-k photon
+  // tower instead of the gate's 400: this grid reaches k tau0 well
+  // past 400, and a G tower truncated below k tau0 reflects noise
+  // down into its low-l moments, which sums into a jagged low-l EE
+  // reference.
+  run::RunConfig polref = hier;
+  polref.lmax_photon = static_cast<std::size_t>(hier.lmax_cap);
+  polref.lmax_polarization = polref.lmax_photon;
+  const run::RunPlan polref_plan(polref, ctx);
+  t0 = wallclock_seconds();
+  const auto polref_out = polref_plan.execute();
+  const double wall_polref = wallclock_seconds() - t0;
+  const auto spec_ref = run::make_spectra(polref_plan, polref_out, l_max);
+  const std::size_t l_pol =
+      std::min({spec_ref.polarization_l_max,
+                spec_los.polarization_l_max, l_max, std::size_t{160}});
+  double worst_ee = 0.0, worst_te = 0.0;
+  double worst_ee_auto = 0.0, worst_te_auto = 0.0;
+  if (l_pol >= 2) {
+    double peak_ee = 0.0, peak_te = 0.0;
+    for (std::size_t l = 2; l <= l_pol; ++l) {
+      peak_ee = std::max(
+          peak_ee,
+          std::abs(spec_ref.polarization.cl[l] / spec_ref.cobe_factor));
+      peak_te = std::max(
+          peak_te,
+          std::abs(spec_ref.cross.cl[l] / spec_ref.cobe_factor));
+    }
+    const auto rel = [](double fast, double ref, double guard) {
+      return std::abs(fast - ref) / std::max(std::abs(ref), guard);
+    };
+    for (std::size_t l = 2; l <= l_pol; ++l) {
+      const double ee_h =
+          spec_ref.polarization.cl[l] / spec_ref.cobe_factor;
+      const double te_h = spec_ref.cross.cl[l] / spec_ref.cobe_factor;
+      worst_ee = std::max(
+          worst_ee,
+          rel(spec_los.polarization.cl[l] / spec_los.cobe_factor, ee_h,
+              0.01 * peak_ee));
+      worst_te = std::max(
+          worst_te, rel(spec_los.cross.cl[l] / spec_los.cobe_factor,
+                        te_h, 0.01 * peak_te));
+      worst_ee_auto = std::max(
+          worst_ee_auto,
+          rel(spec_auto.polarization.cl[l] / spec_auto.cobe_factor, ee_h,
+              0.01 * peak_ee));
+      worst_te_auto = std::max(
+          worst_te_auto,
+          rel(spec_auto.cross.cl[l] / spec_auto.cobe_factor, te_h,
+              0.01 * peak_te));
+    }
+  }
+
   std::printf("total CPU: hierarchy %.2f s, LOS %.2f s (%.1fx), "
               "auto %.2f s (%.1fx); wallclock %.2f / %.2f / %.2f s\n",
               cpu_hier, cpu_los, cpu_los > 0.0 ? cpu_hier / cpu_los : 0.0,
               cpu_auto, cpu_auto > 0.0 ? cpu_hier / cpu_auto : 0.0,
               wall_hier, wall_los, wall_auto);
   std::printf("worst C_l^TT relative deviation (l <= %zu): los %.4f, "
-              "auto %.4f\n\n",
+              "auto %.4f\n",
               l_max, worst_rel, worst_rel_auto);
+  std::printf("worst C_l^EE / C_l^TE deviation (l <= %zu): los %.4f / "
+              "%.4f, auto %.4f / %.4f\n",
+              l_pol, worst_ee, worst_te, worst_ee_auto, worst_te_auto);
+  std::printf("three-spectrum projection: hierarchy %.2f s, LOS %.2f s, "
+              "auto %.2f s\n\n",
+              proj_hier, proj_los, proj_auto);
 
   io::BenchReport report("los");
   report.add("totals")
@@ -185,6 +259,15 @@ int main(int argc, char** argv) {
                   : 0.0)
       .metric("worst_cl_rel_error", worst_rel)
       .metric("worst_cl_rel_error_auto", worst_rel_auto)
+      .metric("polarization_l_max", static_cast<double>(l_pol))
+      .metric("wallclock_seconds_polarization_reference", wall_polref)
+      .metric("worst_cl_ee_rel_error", worst_ee)
+      .metric("worst_cl_te_rel_error", worst_te)
+      .metric("worst_cl_ee_rel_error_auto", worst_ee_auto)
+      .metric("worst_cl_te_rel_error_auto", worst_te_auto)
+      .metric("projection_seconds_hierarchy", proj_hier)
+      .metric("projection_seconds_los", proj_los)
+      .metric("projection_seconds_auto", proj_auto)
       .metric("complete", complete ? 1.0 : 0.0);
 
   std::printf("per-mode speedup by k-decade:\n");
@@ -238,6 +321,20 @@ int main(int argc, char** argv) {
   if (!(worst_rel_auto < 0.20)) {
     std::fprintf(stderr, "FAIL: auto C_l deviation %.3f exceeds 0.20\n",
                  worst_rel_auto);
+    return 1;
+  }
+  // The polarization arms ride the same ceiling: the fast path must
+  // not ship EE/TE columns it cannot defend.
+  if (l_pol < 2) {
+    std::fprintf(stderr, "FAIL: no common polarization reach\n");
+    return 1;
+  }
+  if (!(worst_ee < 0.20 && worst_te < 0.20 && worst_ee_auto < 0.20 &&
+        worst_te_auto < 0.20)) {
+    std::fprintf(stderr,
+                 "FAIL: EE/TE deviation (los %.3f/%.3f, auto %.3f/%.3f) "
+                 "exceeds 0.20\n",
+                 worst_ee, worst_te, worst_ee_auto, worst_te_auto);
     return 1;
   }
   if (!(cpu_auto_rerouted <= cpu_los_rerouted)) {

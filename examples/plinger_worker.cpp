@@ -9,6 +9,12 @@
 //
 // Usage:
 //   plinger_worker params.ini [--connect host:port]
+//                  [--retry N] [--backoff-ms M]
+//
+// --retry/--backoff-ms override the file's tcp_retry/tcp_backoff_ms:
+// up to N initial-connect attempts, sleeping M ms before the second and
+// doubling each further attempt — for deployments where the master's
+// box comes up after the workers'.
 //
 // The parameter file must be the SAME file the master reads: the tag-1
 // init broadcast carries only 5 doubles (the schedule size and
@@ -24,6 +30,7 @@
 // ("TCP transport wire grammar").
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <string>
 
@@ -36,14 +43,20 @@ int main(int argc, char** argv) {
 
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: plinger_worker params.ini [--connect host:port]\n");
+                 "usage: plinger_worker params.ini [--connect host:port] "
+                 "[--retry N] [--backoff-ms M]\n");
     return 1;
   }
   std::string connect_override;
+  int retry_override = -1, backoff_override = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
       connect_override = argv[++i];
+    } else if (arg == "--retry" && i + 1 < argc) {
+      retry_override = std::atoi(argv[++i]);
+    } else if (arg == "--backoff-ms" && i + 1 < argc) {
+      backoff_override = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "plinger_worker: unknown argument '%s'\n",
                    arg.c_str());
@@ -65,6 +78,8 @@ int main(int argc, char** argv) {
   run::RunConfig cfg = parsed.config;
   cfg.transport = "tcp";
   if (!connect_override.empty()) cfg.tcp_connect = connect_override;
+  if (retry_override >= 0) cfg.tcp_retry = retry_override;
+  if (backoff_override >= 0) cfg.tcp_backoff_ms = backoff_override;
   if (cfg.tcp_connect.empty() && !cfg.tcp_listen.empty()) {
     // Convenience: a master-side file names only tcp_listen; dial it.
     cfg.tcp_connect = cfg.tcp_listen;

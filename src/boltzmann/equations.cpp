@@ -501,6 +501,19 @@ void ModeEquations::tca_handoff(double /*tau*/, std::span<double> y) const {
   for (std::size_t l = 3; l <= L.lmax_polarization(); ++l) y[L.gg(l)] = 0.0;
 }
 
+double ModeEquations::pi_source(double /*tau*/, std::span<const double> y,
+                                bool in_tca) const {
+  const StateLayout& L = layout_;
+  if (!in_tca) return y[L.fg(2)] + y[L.gg(0)] + y[L.gg(2)];
+  // Quasi-static tight-coupling value — the same expansion tca_handoff
+  // seeds the full equations with: F2 = 2 sigma_g and Pi = (5/2) F2.
+  const Common c = compute_common(y, /*photon_shear_from_state=*/false);
+  const double tau_c = 1.0 / c.opac;
+  const double sigma_g = (16.0 / 45.0) * tau_c *
+                         (y[StateLayout::theta_g] + k_ * k_ * c.alpha);
+  return 2.5 * 2.0 * sigma_g;
+}
+
 bool ModeEquations::tca_valid(double tau) const {
   const double a = bg_.a_of_tau(tau);
   if (a > 1.0 / (1.0 + cfg_.tca_exit_z)) return false;

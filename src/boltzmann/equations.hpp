@@ -112,6 +112,17 @@ class ModeEquations {
   /// neutrinos), the quantity whose power spectrum LINGER reports.
   double delta_matter(std::span<const double> y) const;
 
+  /// The polarization source Pi = F_gamma2 + G_gamma0 + G_gamma2 at
+  /// (tau, y).  While tight coupling holds (`in_tca`), the slaved
+  /// moments sit at zero in the state vector, so the quasi-static
+  /// expansion tca_handoff seeds — Pi = (5/2) F2 with F2 = 2 sigma_g =
+  /// (32/45) tau_c (theta_g + k^2 alpha) — is reconstructed instead of
+  /// read.  Line-of-sight source tables sample this at every recorded
+  /// time, so the Pi column is populated across the full visibility
+  /// window rather than starting at the tight-coupling exit.
+  double pi_source(double tau, std::span<const double> y,
+                   bool in_tca) const;
+
   /// Estimated floating-point operations per rhs_full evaluation — the
   /// basis of the paper-style Mflop accounting (§5.1).
   std::uint64_t flops_per_rhs() const;

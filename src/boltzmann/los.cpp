@@ -4,9 +4,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "boltzmann/source_table.hpp"
 #include "common/error.hpp"
 #include "math/bessel.hpp"
-#include "math/spline.hpp"
 
 namespace plinger::boltzmann {
 
@@ -151,106 +151,20 @@ void BesselTable::eval(double x, std::span<double> jl) const {
   }
 }
 
-namespace {
-
-/// The per-sample source terms of the projection integral, shared by the
-/// direct and table-driven Bessel paths.
-struct LosSources {
-  std::vector<double> tau;     ///< sample times, ascending
-  std::vector<double> s_mono;  ///< g (Theta0^N + psi) + e^{-kappa}(phi+psi)'
-  std::vector<double> s_dopp;  ///< g v_b^N
-};
-
-LosSources build_sources(const cosmo::Background& bg,
-                         const cosmo::Recombination& rec,
-                         const ModeResult& mode) {
-  const auto& samples = mode.samples;
-  PLINGER_REQUIRE(samples.size() >= 16,
-                  "los_f_gamma: too few source samples");
-  const double k = mode.k;
-
-  // Source terms per sample (conformal Newtonian gauge).
-  const std::size_t n = samples.size();
-  LosSources src;
-  src.tau.resize(n);
-  src.s_mono.resize(n);
-  src.s_dopp.resize(n);
-  std::vector<double> phipsi(n), ekappa(n);
-  std::size_t hint = 0;  // samples ascend in tau; shared kappa-spline hint
-  for (std::size_t j = 0; j < n; ++j) {
-    const TransferSample& s = samples[j];
-    src.tau[j] = s.tau;
-    const double adotoa = bg.adotoa(s.a);
-    const double theta0_n = 0.25 * (s.delta_g - 4.0 * adotoa * s.alpha);
-    const double vb_n = (s.theta_b + s.alpha * k * k) / k;
-    const double g = rec.visibility(s.tau, hint);
-    src.s_mono[j] = g * (theta0_n + s.psi);
-    src.s_dopp[j] = g * vb_n;
-    phipsi[j] = s.phi + s.psi;
-    ekappa[j] = std::exp(-std::min(680.0, rec.kappa(s.tau, hint)));
-  }
-  // ISW: e^{-kappa} d(phi+psi)/dtau via a spline derivative.
-  const plinger::math::CubicSpline pp(src.tau, phipsi);
-  for (std::size_t j = 0; j < n; ++j) {
-    src.s_mono[j] += ekappa[j] * pp.derivative(src.tau[j]);
-  }
-  return src;
-}
-
-/// Trapezoid projection of the sources onto j_l(k (tau0 - tau)).  The
-/// Bessel evaluator is the only difference between the reference path
-/// (sph_bessel_j_array) and the fast path (BesselTable).
-template <typename FillJl>
-std::vector<double> project(const LosSources& src, double k, double tau0,
-                            std::size_t l_max, FillJl&& fill_jl) {
-  const std::size_t n = src.tau.size();
-  const auto& tau = src.tau;
-  std::vector<double> theta(l_max + 1, 0.0);
-  std::vector<double> jl(l_max + 2, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    const double w =
-        (j == 0)       ? 0.5 * (tau[1] - tau[0])
-        : (j == n - 1) ? 0.5 * (tau[n - 1] - tau[n - 2])
-                       : 0.5 * (tau[j + 1] - tau[j - 1]);
-    const double x = k * (tau0 - tau[j]);
-    fill_jl(x, std::span<double>(jl));
-    for (std::size_t l = 0; l <= l_max; ++l) {
-      // j_l'(x) = j_{l-1}(x) - (l+1)/x j_l(x); j_0' = -j_1.
-      double jlp;
-      if (l == 0) {
-        jlp = -jl[1];
-      } else if (x > 1e-12) {
-        jlp = jl[l - 1] - (static_cast<double>(l) + 1.0) / x * jl[l];
-      } else {
-        jlp = (l == 1) ? 1.0 / 3.0 : 0.0;
-      }
-      theta[l] += w * (src.s_mono[j] * jl[l] + src.s_dopp[j] * jlp);
-    }
-  }
-  // Back to the MB95 moment convention F_l = 4 Theta_l.
-  for (double& t : theta) t *= 4.0;
-  return theta;
-}
-
-}  // namespace
-
 std::vector<double> los_f_gamma(const cosmo::Background& bg,
                                 const cosmo::Recombination& rec,
                                 const ModeResult& mode,
                                 std::size_t l_max) {
-  const LosSources src = build_sources(bg, rec, mode);
-  return project(src, mode.k, mode.tau_end, l_max,
-                 [](double x, std::span<double> jl) {
-                   math::sph_bessel_j_array(x, jl);
-                 });
+  const SourceTable src = build_source_table(bg, rec, mode);
+  return project_source_table(src, l_max).f_gamma;
 }
 
 std::vector<double> los_f_gamma(const cosmo::Background& bg,
                                 const cosmo::Recombination& rec,
                                 const ModeResult& mode, std::size_t l_max,
                                 const BesselTable& table) {
-  // The derivative recurrence inside project() reads jl[l_max + 1], so
-  // the table must extend one l past the requested multipole.
+  // Validate the table range before the sources are built so a
+  // misconfigured run fails on the configuration, not on the data.
   if (l_max + 1 > table.l_max()) {
     std::ostringstream os;
     os << "los_f_gamma: l_max = " << l_max
@@ -258,11 +172,8 @@ std::vector<double> los_f_gamma(const cosmo::Background& bg,
        << table.l_max() << " and the projection needs l_max + 1)";
     throw InvalidArgument(os.str());
   }
-  const LosSources src = build_sources(bg, rec, mode);
-  return project(src, mode.k, mode.tau_end, l_max,
-                 [&table](double x, std::span<double> jl) {
-                   table.eval(x, jl);
-                 });
+  const SourceTable src = build_source_table(bg, rec, mode);
+  return project_source_table(src, l_max, table).f_gamma;
 }
 
 }  // namespace plinger::boltzmann

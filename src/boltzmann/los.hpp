@@ -11,14 +11,18 @@
 ///
 ///   Theta_l(k) = int dtau [ g (Theta0^N + psi) j_l(x)
 ///                         + g v_b^N j_l'(x)
-///                         + e^{-kappa} (phi' + psi') j_l(x) ],
+///                         + e^{-kappa} (phi' + psi') j_l(x)
+///                         + g (Pi/16) (3 j_l''(x) + j_l(x)) ],
 ///
 /// with x = k (tau0 - tau), g the visibility function, and all fluid
-/// quantities in the conformal Newtonian gauge.  The small polarization
-/// (Pi) correction terms are neglected, costing ~ a percent on C_l^T —
-/// the ctest `accuracy` gate (tests/golden/test_accuracy.cpp) pins this
-/// error per l against the full hierarchy so the fast path cannot
-/// silently drift.
+/// quantities in the conformal Newtonian gauge.  The source extraction
+/// and the projection themselves live in the SourceTable layer
+/// (boltzmann/source_table.hpp), which also projects the polarization
+/// moment G_l for C_l^EE/C_l^TE; the los_f_gamma entry points here are
+/// temperature-only wrappers kept for the benches and tests.  The ctest
+/// `accuracy` gate (tests/golden/test_accuracy.cpp) pins the per-l
+/// error of every projected spectrum against the full hierarchy so the
+/// fast path cannot silently drift.
 
 #include <cstddef>
 #include <span>

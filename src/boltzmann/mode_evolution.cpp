@@ -23,8 +23,13 @@ ModeEvolver::ModeEvolver(const cosmo::Background& bg,
 
 namespace {
 
+/// `in_tca` selects the Pi column's source: the slaved polarization
+/// states are identically zero while tight coupling holds, so samples
+/// recorded there take the quasi-static pi_source() value instead —
+/// the line-of-sight E-mode projection needs Pi populated across the
+/// whole visibility window, not only after the tight-coupling exit.
 TransferSample make_sample(const ModeEquations& eq, double tau,
-                           std::span<const double> y) {
+                           std::span<const double> y, bool in_tca) {
   const StateLayout& L = eq.layout();
   TransferSample s;
   s.tau = tau;
@@ -42,7 +47,7 @@ TransferSample make_sample(const ModeEquations& eq, double tau,
   s.phi = p.phi;
   s.psi = p.psi;
   s.alpha = eq.couplings(tau, y).alpha;
-  s.pi_pol = y[L.fg(2)] + y[L.gg(0)] + y[L.gg(2)];
+  s.pi_pol = eq.pi_source(tau, y, in_tca);
   return s;
 }
 
@@ -51,7 +56,7 @@ TransferSample make_sample(const ModeEquations& eq, double tau,
 ModeResult finalize(ModeResult& result, const ModeEquations& eq,
                     const PerturbationConfig& cfg, const EvolveRequest& req,
                     double tau_end, std::span<const double> y, double cpu0) {
-  result.final_state = make_sample(eq, tau_end, y);
+  result.final_state = make_sample(eq, tau_end, y, /*in_tca=*/false);
   const StateLayout& L = eq.layout();
   result.f_gamma.resize(cfg.lmax_photon + 1);
   result.g_gamma.resize(L.lmax_polarization() + 1);
@@ -84,6 +89,14 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
   cfg.lmax_photon = (req.lmax_photon != 0)
                         ? req.lmax_photon
                         : lmax_photon_for_k(req.k, tau_end);
+  if (req.lmax_polarization != 0) {
+    cfg.lmax_polarization = req.lmax_polarization;
+  }
+  // StateLayout requires lmax_polarization <= lmax_photon; a tall
+  // polarization tower (used for E-mode references) is clamped per mode
+  // so low-k modes with a shorter per-k photon tower stay valid.  No-op
+  // for the default config: lmax_photon_for_k never drops below 60.
+  cfg.lmax_polarization = std::min(cfg.lmax_polarization, cfg.lmax_photon);
   ModeEquations eq(bg_, rec_, cfg, req.k, cache_.get());
 
   // Start superhorizon AND radiation-dominated.
@@ -191,7 +204,7 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
 
     plinger::math::Dop853 integrator;
     auto record = [&](double t, std::span<const double> yy) {
-      result.samples.push_back(make_sample(eq, t, yy));
+      result.samples.push_back(make_sample(eq, t, yy, in_tca));
     };
     auto run_segment = [&](double t0, double t1, auto&& rhs,
                            std::span<const double> seg) {
@@ -244,7 +257,7 @@ ModeResult ModeEvolver::evolve(const EvolveRequest& req,
       in_tca = false;
     }
     if (stop.sample) {
-      result.samples.push_back(make_sample(eq, t_cur, y));
+      result.samples.push_back(make_sample(eq, t_cur, y, in_tca));
     }
   }
 

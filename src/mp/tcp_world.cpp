@@ -395,6 +395,29 @@ std::unique_ptr<TcpWorld> TcpWorld::connect(const std::string& host,
   return w;
 }
 
+std::unique_ptr<TcpWorld> TcpWorld::connect_with_backoff(
+    const std::string& host, int port, int attempts, int backoff_ms,
+    double attempt_timeout_seconds, Library lib) {
+  PLINGER_REQUIRE(attempts >= 1,
+                  "connect_with_backoff: attempts must be >= 1");
+  PLINGER_REQUIRE(backoff_ms >= 0,
+                  "connect_with_backoff: backoff_ms must be >= 0");
+  long sleep_ms = backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return connect(host, port, lib, attempt_timeout_seconds);
+    } catch (const Error&) {
+      if (attempt >= attempts) throw;
+    }
+    if (sleep_ms > 0) {
+      ::usleep(static_cast<useconds_t>(sleep_ms) * 1000);
+      // Doubling capped at one minute: past that the backoff is doing
+      // rate limiting, not congestion avoidance.
+      sleep_ms = std::min(sleep_ms * 2, 60'000L);
+    }
+  }
+}
+
 void TcpWorld::attach_peer(int rank, int fd) {
   auto p = std::make_unique<Peer>();
   p->fd = fd;

@@ -120,10 +120,23 @@ class TcpWorld final : public InProcWorld {
   /// Worker factory: connect to the master at host:port (retrying until
   /// timeout_seconds while the master is still binding), perform the
   /// HELLO/WELCOME rendezvous, and return a world sized and ranked by
-  /// the master's WELCOME.
+  /// the master's WELCOME.  With attempt_timeout_seconds = 0 the inner
+  /// retry loop collapses to a single connect() syscall.
   static std::unique_ptr<TcpWorld> connect(const std::string& host, int port,
                                            Library lib = Library::mpisim,
                                            double timeout_seconds = 30.0);
+
+  /// Worker factory with reconnect ergonomics: up to `attempts` connect()
+  /// calls, sleeping backoff_ms before the second attempt and doubling
+  /// the sleep each further attempt (bounded exponential backoff) — the
+  /// remote-deployment case where the master's box reboots slower than
+  /// the workers', or sits behind a still-converging DNS/VPN route.
+  /// Each attempt gets attempt_timeout_seconds of the inner
+  /// still-binding retry; the last attempt's error is rethrown verbatim
+  /// once the budget is spent.  attempts must be >= 1, backoff_ms >= 0.
+  static std::unique_ptr<TcpWorld> connect_with_backoff(
+      const std::string& host, int port, int attempts, int backoff_ms,
+      double attempt_timeout_seconds = 1.0, Library lib = Library::mpisim);
 
   ~TcpWorld() override;  ///< GOODBYE + drain + close on every live peer
 

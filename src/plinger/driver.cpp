@@ -113,6 +113,14 @@ void shape_request(boltzmann::EvolveRequest& req, const RunSetup& setup,
   } else if (setup.lmax_cap > 0.0) {
     req.lmax_photon = boltzmann::lmax_photon_for_k(
         req.k, tau_end, static_cast<std::size_t>(setup.lmax_cap));
+    if (setup.los.enabled) {
+      // solver=auto reroute: this mode's EE/TE contribution must reach
+      // as far as the LOS branch projects, so the G tower rides the
+      // full per-k photon tower instead of the run-level polarization
+      // setting (G_l is negligible beyond k tau0 — this is
+      // completeness, not extra physics).
+      req.lmax_polarization = req.lmax_photon;
+    }
   }
 }
 

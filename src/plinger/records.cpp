@@ -53,7 +53,7 @@ std::vector<double> pack_payload(std::size_t ik, const ModeResult& r) {
   y[4] = r.tau_init;
   y[5] = r.tau_switch;
   y[6] = r.tau_end;
-  y[7] = with_samples ? kPayloadWithSamples : kPayloadClassic;
+  y[7] = with_samples ? kPayloadSourceTable : kPayloadClassic;
   std::size_t at = 8;
   for (double v : r.f_gamma) y[at++] = v;
   for (double v : r.g_gamma) y[at++] = v;
@@ -130,8 +130,14 @@ ModeResult unpack_records(const std::vector<double>& header,
   PLINGER_REQUIRE(ik2 == ik, "unpack_records: header/payload ik mismatch");
   const std::size_t lmax_pol = payload_lmax_pol(payload);
   const double version = payload_version(payload);
+  PLINGER_REQUIRE(
+      version != kPayloadWithSamples,
+      "unpack_records: version-2 line-of-sight records predate the "
+      "SourceTable pipeline (their Pi column is zero through tight "
+      "coupling, so E-mode sources cannot be rebuilt from them) — "
+      "rerun the line-of-sight modes instead of resuming this journal");
   PLINGER_REQUIRE(version == kPayloadClassic ||
-                      version == kPayloadWithSamples,
+                      version == kPayloadSourceTable,
                   "unpack_records: unknown payload record version");
   const std::size_t base = payload_length(r.lmax, lmax_pol);
   if (version == kPayloadClassic) {
@@ -146,7 +152,7 @@ ModeResult unpack_records(const std::vector<double>& header,
                    payload.begin() + 8 + static_cast<long>(r.lmax) + 1);
   r.g_gamma.assign(payload.begin() + 8 + static_cast<long>(r.lmax) + 1,
                    payload.begin() + static_cast<long>(base));
-  if (version == kPayloadWithSamples) {
+  if (version == kPayloadSourceTable) {
     const std::size_t n_samples =
         static_cast<std::size_t>(std::llround(payload[base]));
     PLINGER_REQUIRE(

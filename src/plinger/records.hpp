@@ -22,11 +22,17 @@
 ///
 ///  * 0.0 — classic hierarchy payload, bit-identical to every record
 ///    ever written (pre-refactor journals still parse and resume).
-///  * 2.0 — line-of-sight payload: the classic layout followed by
-///    [n_samples] and n_samples * kSampleStride doubles of
-///    TransferSample data recorded at los_sample_taus().  Written
-///    whenever the mode carried samples; the short-hierarchy sources
-///    ride the same wire/journal machinery as full-hierarchy moments.
+///  * 2.0 — retired line-of-sight payload: the classic layout followed
+///    by [n_samples] and n_samples * kSampleStride doubles of
+///    TransferSample data.  Its pi_pol column was zero over the whole
+///    tight-coupling era, so it cannot feed the SourceTable
+///    polarization pipeline; unpack_records() rejects it with a message
+///    telling the operator to rerun instead of resuming.
+///  * 3.0 — SourceTable payload: the same layout as version 2 (same
+///    stride, same slots), but the pi_pol column now carries the
+///    quasi-static tight-coupling value of Pi where the hierarchy
+///    moments are slaved, so E-mode/TE projection is valid across the
+///    full visibility window.
 ///
 /// pack_payload() picks the version from ModeResult::samples, so
 /// hierarchy runs keep emitting version-0 bits; unpack_records()
@@ -44,7 +50,8 @@ inline constexpr std::size_t kHeaderLength = 21;
 
 /// Preamble slot y[7] values: the payload record version.
 inline constexpr double kPayloadClassic = 0.0;
-inline constexpr double kPayloadWithSamples = 2.0;
+inline constexpr double kPayloadWithSamples = 2.0;  ///< retired, rejected
+inline constexpr double kPayloadSourceTable = 3.0;
 
 /// Doubles per serialized TransferSample (declaration order: tau, a,
 /// delta_c, delta_b, delta_g, delta_nu, delta_m, theta_b, theta_g, eta,
@@ -57,7 +64,8 @@ inline constexpr std::size_t payload_length(std::size_t lmax,
   return 8 + (lmax + 1) + (lmax_pol + 1);
 }
 
-/// Payload length in doubles for a sample-bearing record (version 2).
+/// Payload length in doubles for a sample-bearing record (version 3;
+/// version 2 shared the layout).
 inline constexpr std::size_t payload_length_los(std::size_t lmax,
                                                 std::size_t lmax_pol,
                                                 std::size_t n_samples) {
@@ -73,13 +81,15 @@ std::vector<double> pack_header(std::size_t ik,
 
 /// Pack the tag-5 payload.  Emits a classic (version 0) record when the
 /// result carries no samples — bit-identical to every pre-LOS record —
-/// and a sample-bearing version-2 record otherwise.
+/// and a sample-bearing version-3 record otherwise.
 std::vector<double> pack_payload(std::size_t ik,
                                  const boltzmann::ModeResult& result);
 
 /// Reassemble a ModeResult from the two records: version 0 restores
-/// everything but samples, version 2 restores the samples too.
-/// Returns the work index ik through the out-parameter.
+/// everything but samples, version 3 restores the samples too.
+/// Version 2 (pre-SourceTable samples) is rejected with a message
+/// naming the incompatibility.  Returns the work index ik through the
+/// out-parameter.
 boltzmann::ModeResult unpack_records(const std::vector<double>& header,
                                      const std::vector<double>& payload,
                                      std::size_t& ik);

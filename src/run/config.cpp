@@ -235,6 +235,13 @@ const KeyImpl kKeys[] = {
                        "transport = tcp, worker side: the master "
                        "endpoint host:port a plinger_worker process "
                        "joins"),
+    PLINGER_KEY_INT("tcp_retry", tcp_retry, "1",
+                    "worker-side initial-connect attempts (1 = single "
+                    "bounded connect; > 1 retries with exponential "
+                    "backoff while the master comes up)"),
+    PLINGER_KEY_INT("tcp_backoff_ms", tcp_backoff_ms, "250",
+                    "sleep before the second connect attempt, doubling "
+                    "each further retry (tcp_retry > 1 only)"),
     // --- checkpoint store ---
     PLINGER_KEY_STRING("store", store, "*(empty)*",
                        "checkpoint journal path; empty = no "
@@ -346,6 +353,8 @@ void RunConfig::validate() const {
                     "transport = tcp needs tcp_listen (master) or "
                     "tcp_connect (worker process)");
   }
+  PLINGER_REQUIRE(tcp_retry >= 1, "tcp_retry must be >= 1");
+  PLINGER_REQUIRE(tcp_backoff_ms >= 0, "tcp_backoff_ms must be >= 0");
   PLINGER_REQUIRE(fault_timeout >= 0.0, "fault_timeout must be >= 0");
   PLINGER_REQUIRE(max_retries >= 0, "max_retries must be >= 0");
   // The cosmology budget: materializing throws on a closure with no

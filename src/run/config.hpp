@@ -90,9 +90,9 @@ struct RunConfig {
   /// hierarchy (full Boltzmann tower, the golden reference) | los
   /// (short hierarchy + line-of-sight projection; the fast path, held
   /// to the hierarchy by the ctest `accuracy` gate) | auto (los above
-  /// the kAutoSolverCrossoverK wavenumber, hierarchy below — fixes the
-  /// low-k decades where LOS source sampling costs more than the short
-  /// hierarchy saves).
+  /// the kAutoSolverCrossoverK wavenumber, hierarchy — with the full
+  /// per-k polarization tower — below, fixing the low-k decades where
+  /// LOS source sampling costs more than the short hierarchy saves).
   std::string solver = "hierarchy";
   std::string los_accuracy = "standard";  ///< draft | standard | high
   /// Tight-coupling exit threshold; the PerturbationConfig default.
@@ -111,6 +111,12 @@ struct RunConfig {
   std::string transport = "inproc";
   std::string tcp_listen;   ///< master listen endpoint host:port
   std::string tcp_connect;  ///< worker-process connect endpoint host:port
+  /// Worker-side initial-connect attempts: 1 = the single bounded
+  /// connect() the transport always had; > 1 adds bounded retry with
+  /// exponential backoff (tcp_backoff_ms, doubling per attempt) for
+  /// deployments where the master comes up slower than its workers.
+  int tcp_retry = 1;
+  int tcp_backoff_ms = 250;  ///< first backoff sleep; doubles per retry
 
   // --- checkpoint store ---
   std::string store;  ///< journal path; empty = no checkpointing

@@ -115,7 +115,17 @@ void RunPlan::execute_worker() const {
                   "execute_worker needs transport = tcp and tcp_connect "
                   "(the master's host:port)");
   const mp::TcpEndpoint ep = mp::parse_endpoint(cfg_.tcp_connect);
-  auto world = mp::TcpWorld::connect(ep.host, ep.port);
+  // tcp_retry = 1 keeps the transport's single bounded connect; above
+  // that each attempt gets the default 30 s still-binding window and
+  // the gaps between attempts back off exponentially.
+  auto world =
+      (cfg_.tcp_retry > 1)
+          ? mp::TcpWorld::connect_with_backoff(ep.host, ep.port,
+                                               cfg_.tcp_retry,
+                                               cfg_.tcp_backoff_ms,
+                                               /*attempt_timeout_seconds=*/
+                                               30.0)
+          : mp::TcpWorld::connect(ep.host, ep.port);
   parallel::run_plinger_tcp_worker(ctx_->background(),
                                    ctx_->recombination(), pcfg_, schedule_,
                                    setup_, *world);

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "boltzmann/los.hpp"
+#include "boltzmann/source_table.hpp"
 #include "common/error.hpp"
 #include "io/ascii_table.hpp"
 #include "io/fortran_binary.hpp"
@@ -28,11 +29,10 @@ SpectrumSet make_spectra(const RunPlan& plan,
   spectra::ClAccumulator acc(l_max, primordial);
   const parallel::KSchedule& schedule = plan.schedule();
   if (plan.setup().los.enabled) {
-    // The master-side half of solver = los: project each mode's
-    // recorded sources onto F_l through one shared Bessel table.  Only
-    // the temperature moments are projected — the LOS sources neglect
-    // the polarization (Pi) terms, so C_l^P and C_l^TP stay zero and
-    // the accuracy gate pins the temperature error that neglect costs.
+    // The master-side half of solver = los: build each mode's
+    // SourceTable from the recorded samples and project temperature
+    // AND polarization through one shared Bessel table, so C_l^EE and
+    // C_l^TE ride the fast path with C_l^TT.
     double x_max = 1.0;
     for (const auto& [ik, r] : out.results) {
       (void)ik;
@@ -42,38 +42,51 @@ SpectrumSet make_spectra(const RunPlan& plan,
     const cosmo::Background& bg = plan.context().background();
     const cosmo::Recombination& rec = plan.context().recombination();
     for (const auto& [ik, r] : out.results) {
+      const double w = schedule.weight_of_ik(ik);
       if (r.samples.empty()) {
         // solver=auto routed this mode through the full hierarchy (k
-        // below the crossover): its F_l moments are exact, no
-        // projection needed.  Temperature only, matching the LOS
-        // family's product surface.
-        acc.add_mode(r.k, schedule.weight_of_ik(ik), r.f_gamma);
+        // below the crossover): its F_l / G_l moments are exact, no
+        // projection needed, and each spectrum keeps its per-mode
+        // routing (the G tower is the configured lmax_polarization,
+        // which bounds this mode's polarization reach).
+        acc.add_mode(r.k, w, r.f_gamma);
+        acc.add_mode_polarization(r.k, w, r.g_gamma);
+        acc.add_mode_cross(r.k, w, r.f_gamma, r.g_gamma);
         continue;
       }
-      const std::vector<double> f_gamma =
-          boltzmann::los_f_gamma(bg, rec, r, l_max, table);
-      acc.add_mode(r.k, schedule.weight_of_ik(ik), f_gamma);
+      const boltzmann::SourceTable src =
+          boltzmann::build_source_table(bg, rec, r);
+      const boltzmann::ProjectedMode pm =
+          boltzmann::project_source_table(src, l_max, table);
+      acc.add_mode(r.k, w, pm.f_gamma);
+      acc.add_mode_polarization(r.k, w, pm.g_gamma);
+      acc.add_mode_cross(r.k, w, pm.f_gamma, pm.g_gamma);
     }
-    SpectrumSet s;
-    s.temperature = acc.temperature();
-    s.polarization = acc.polarization();
-    s.cross = acc.cross();
-    s.modes_used = acc.modes_added();
-    s.cobe_factor = spectra::normalize_to_cobe_quadrupole(
-        s.temperature, q_rms_ps, plan.context().params().t_cmb);
-    return s;
+  } else {
+    for (const auto& [ik, r] : out.results) {
+      const double w = schedule.weight_of_ik(ik);
+      acc.add_mode(r.k, w, r.f_gamma);
+      acc.add_mode_polarization(r.k, w, r.g_gamma);
+      acc.add_mode_cross(r.k, w, r.f_gamma, r.g_gamma);
+    }
   }
-  for (const auto& [ik, r] : out.results) {
-    const double w = schedule.weight_of_ik(ik);
-    acc.add_mode(r.k, w, r.f_gamma);
-    acc.add_mode_polarization(r.k, w, r.g_gamma);
-    acc.add_mode_cross(r.k, w, r.f_gamma, r.g_gamma);
+  // Silent-zero fence: a run that produced modes but never reached an
+  // l >= 2 polarization contribution would hand the caller EE/TE
+  // columns of zeros with no diagnostic.  Refuse instead — the fix is
+  // a taller polarization tower, not downstream zeros.
+  if (acc.modes_added() > 0 && acc.polarization_l_max() < 2) {
+    throw Error(std::string("make_spectra: no polarization sources "
+                            "reached l >= 2 under solver=") +
+                (plan.setup().los.enabled ? "los" : "hierarchy") +
+                " — C_l^EE/C_l^TE would be silently zero (check "
+                "lmax_polarization and the mode results' G towers)");
   }
   SpectrumSet s;
   s.temperature = acc.temperature();
   s.polarization = acc.polarization();
   s.cross = acc.cross();
   s.modes_used = acc.modes_added();
+  s.polarization_l_max = acc.polarization_l_max();
   s.cobe_factor = spectra::normalize_to_cobe_quadrupole(
       s.temperature, q_rms_ps, plan.context().params().t_cmb);
   for (double& c : s.polarization.cl) c *= s.cobe_factor;

@@ -28,6 +28,10 @@ struct SpectrumSet {
   spectra::AngularSpectrum cross;         ///< scaled by the same factor
   double cobe_factor = 1.0;  ///< the normalization applied (feeds P(k))
   std::size_t modes_used = 0;
+  /// Highest l the polarization/cross columns are actually populated to
+  /// (the tallest G tower the accumulator saw; l_max under solver=los).
+  /// Entries above it are structural zeros, not physics.
+  std::size_t polarization_l_max = 0;
 };
 
 /// Wrap already-settled mode results (a complete checkpoint journal,
@@ -42,11 +46,14 @@ parallel::RunOutput output_from_results(
 /// temperature quadrupole to COBE (q_rms_ps in Kelvin; the paper's
 /// 18 uK default).  l_max = 0 takes the plan's l_max.
 ///
-/// Under solver = los, each mode's F_l is projected here, master-side,
-/// from the recorded sources via a shared BesselTable (boltzmann/
-/// los.hpp); polarization and cross stay zero because the LOS sources
-/// neglect the Pi terms.  The projection is deterministic, so a
-/// resumed LOS run reproduces an uninterrupted one bit for bit.
+/// Under solver = los, each mode's SourceTable is projected here,
+/// master-side, via a shared BesselTable (boltzmann/source_table.hpp):
+/// F_l with the Pi correction folded into the quadrupole source, and
+/// G_l from the E-mode kernel, so C_l^EE/C_l^TE ride the fast path.
+/// The projection is deterministic, so a resumed LOS run reproduces an
+/// uninterrupted one bit for bit.  A run whose modes never carry an
+/// l >= 2 polarization contribution is refused (no silent zero EE/TE);
+/// SpectrumSet::polarization_l_max marks the honest coverage.
 SpectrumSet make_spectra(const RunPlan& plan,
                          const parallel::RunOutput& out,
                          std::size_t l_max = 0, double q_rms_ps = 18e-6);

@@ -33,7 +33,9 @@ bool is_reserved_key(const std::string& key) {
   // request must not make it listen on or dial arbitrary sockets.
   return key == "store" || key == "resume" || key == "flush_interval" ||
          key == "stop_after" || key == "trace" || key == "trace_json" ||
-         key == "transport" || key == "tcp_listen" || key == "tcp_connect";
+         key == "transport" || key == "tcp_listen" ||
+         key == "tcp_connect" || key == "tcp_retry" ||
+         key == "tcp_backoff_ms";
 }
 
 RequestParse parse_request(const std::string& command_line,

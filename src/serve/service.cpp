@@ -209,6 +209,10 @@ std::shared_ptr<const AnswerBody> SpectrumService::build_answer(
          fmt17(spectra.polarization.cl[l]) + " " +
          fmt17(spectra.cross.cl[l]) + "\n";
   }
+  // Honest polarization coverage: EE/TE entries above this l are
+  // structural zeros (the G towers stopped there), not physics.
+  p += "POL l_max_pol=" + std::to_string(spectra.polarization_l_max) +
+       "\n";
   p += "COBE " + fmt17(spectra.cobe_factor) + "\n";
   p += "DONE\n";
   return body;

@@ -47,17 +47,22 @@ void ClAccumulator::add_mode(double k, double weight_dk,
 
 void ClAccumulator::add_mode_polarization(
     double k, double weight_dk, const std::vector<double>& g_gamma) {
+  // No l >= 2 entry means no contribution (and guards the size()-1
+  // underflow an empty vector would hit below).
+  if (g_gamma.size() < 3) return;
   const double w = 4.0 * std::numbers::pi * primordial_(k) * weight_dk / k;
   const std::size_t top = std::min(l_max_, g_gamma.size() - 1);
   for (std::size_t l = 2; l <= top; ++l) {
     const double gl = 0.25 * g_gamma[l];
     cp_[l] += w * gl * gl;
   }
+  pol_l_max_ = std::max(pol_l_max_, top);
 }
 
 void ClAccumulator::add_mode_cross(double k, double weight_dk,
                                    const std::vector<double>& f_gamma,
                                    const std::vector<double>& g_gamma) {
+  if (f_gamma.size() < 3 || g_gamma.size() < 3) return;
   const double w = 4.0 * std::numbers::pi * primordial_(k) * weight_dk / k;
   const std::size_t top =
       std::min({l_max_, f_gamma.size() - 1, g_gamma.size() - 1});

@@ -58,6 +58,9 @@ class ClAccumulator {
                 const std::vector<double>& f_gamma);
 
   /// Same for the polarization spectrum in the MB95 G_l convention.
+  /// A g_gamma without any l >= 2 entry (in particular an empty vector
+  /// from a mode that carried no polarization tower) contributes
+  /// nothing and does not count as polarization coverage.
   void add_mode_polarization(double k, double weight_dk,
                              const std::vector<double>& g_gamma);
 
@@ -80,11 +83,19 @@ class ClAccumulator {
 
   std::size_t modes_added() const { return n_modes_; }
 
+  /// Highest l any polarization contribution actually reached (the
+  /// largest G_l tower seen across add_mode_polarization calls, clamped
+  /// to l_max).  0 until the first mode with a usable tower arrives —
+  /// the honest "are EE/TE populated, and up to where" signal the run
+  /// layer uses to refuse silently-zero columns.
+  std::size_t polarization_l_max() const { return pol_l_max_; }
+
  private:
   std::size_t l_max_;
   PowerLawSpectrum primordial_;
   std::vector<double> ct_, cp_, cx_;
   std::size_t n_modes_ = 0;
+  std::size_t pol_l_max_ = 0;
 };
 
 /// Rescale a spectrum so that C_2 matches the COBE quadrupole

@@ -97,6 +97,10 @@ RunIdentity run_identity(const cosmo::CosmoParams& params,
   // same config hashed as hierarchy vs LOS can never collide.
   h.add(run_identity(params, cfg, k_grid, tau_end, lmax_cap).value);
   h.add(std::uint64_t{2});  // LOS record-family salt
+  // Record-version salt: version-3 records carry a Pi column the
+  // version-2 ones left at zero through tight coupling, so pre-existing
+  // LOS journals mismatch here and resume is refused up front.
+  h.add(kLosRecordVersion);
   h.add(static_cast<std::uint64_t>(los.lmax_evolve));
   h.add(static_cast<std::uint64_t>(los.sample_taus.size()));
   for (const double t : los.sample_taus) h.add(t);
@@ -107,6 +111,11 @@ RunIdentity run_identity(const cosmo::CosmoParams& params,
   if (los.k_crossover > 0.0) {
     h.add(std::uint64_t{4});  // auto-routing salt
     h.add(los.k_crossover);
+    // Rerouted-mode polarization lift: the router now evolves each
+    // below-crossover mode's G tower to its full photon tower, so
+    // journals recorded before the lift carry shorter towers and must
+    // refuse resume rather than mix polarization reaches.
+    h.add(std::uint64_t{5});
   }
   return RunIdentity{h.digest()};
 }

@@ -46,11 +46,19 @@ RunIdentity run_identity(const cosmo::CosmoParams& params,
                          std::span<const double> k_grid, double tau_end,
                          double lmax_cap);
 
+/// Version of the sample-bearing record family folded into the LOS
+/// identity: bumped to 3 with the SourceTable pipeline (the Pi column
+/// is now populated through tight coupling), so version-2 journals
+/// stamp differently and are rejected at resume instead of feeding
+/// zero polarization sources into E-mode spectra.
+inline constexpr std::uint64_t kLosRecordVersion = 3;
+
 /// The line-of-sight inputs that shape a solver=los run's records: the
 /// short-hierarchy size every request is pinned to and the shared source
 /// sample times.  Hashed on top of the base identity so a journal of
 /// sample-bearing records can never cross-resume with a hierarchy
-/// journal (or with an LOS journal of different sampling).
+/// journal (or with an LOS journal of different sampling or record
+/// version).
 struct LosIdentity {
   std::size_t lmax_evolve = 0;
   std::span<const double> sample_taus;

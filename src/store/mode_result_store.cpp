@@ -123,6 +123,18 @@ bool parse_mode_record(const std::vector<double>& rec, std::size_t& ik,
                                    rec.begin() + kHeaderLength);
   const std::vector<double> payload(rec.begin() + kHeaderLength,
                                     rec.end() - 1);
+  // A CRC-clean record of the retired version-2 layout is not damage —
+  // treating it as a torn tail would silently drop and recompute it.
+  // Refuse the journal loudly instead.
+  if (payload.size() >= 8 &&
+      payload[7] == parallel::kPayloadWithSamples) {
+    throw StoreCorrupt(
+        "ModeResultStore: journal holds retired version-2 line-of-sight "
+        "records (pre-SourceTable: their Pi column is zero through tight "
+        "coupling, so E-mode sources cannot be rebuilt from them) — "
+        "delete the journal and rerun the line-of-sight modes instead "
+        "of resuming it");
+  }
   try {
     result = parallel::unpack_records(header, payload, ik);
   } catch (const Error&) {

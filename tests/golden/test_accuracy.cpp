@@ -1,12 +1,24 @@
-// The solver accuracy gate: solver=los vs solver=hierarchy, per l.
+// The solver accuracy gate: solver=los vs solver=hierarchy, per l,
+// for all three spectra (TT, EE, TE).
 //
 // The line-of-sight fast path earns its >=10x per-mode speedup by
 // evolving a short hierarchy and projecting sources — an approximation
 // (finite source sampling, neglected polarization feedback in the
 // projection) whose error must be *pinned*, not assumed.  For each
 // cosmology preset this suite runs both solvers over the same cl-grid,
-// forms the raw (un-normalized) C_l^TT of each, and asserts the
-// relative error at every l stays under a committed per-l envelope.
+// forms the raw (un-normalized) C_l^TT / C_l^EE / C_l^TE of each, and
+// asserts the relative error at every l stays under a committed per-l
+// envelope.  The hierarchy reference evolves a tall polarization tower
+// (clamped per mode to the k-dependent photon tower) so its G_l reach
+// covers the full compared range; the LOS run keeps the production
+// short-tower configuration — the gate measures exactly what a
+// solver=los user gets.
+//
+// TT and EE are positive spectra and use plain relative error; TE
+// crosses zero, so its error is normalized by
+// max(|ref_l|, 0.01 * max_l |ref|) — near a null the denominator is
+// pinned to 1% of the spectrum's peak instead of the vanishing local
+// value.  EE gets the same guard for its small low-l tail.
 //
 // The envelope fixtures live next to the golden fixtures and are
 // regenerated with:
@@ -42,6 +54,7 @@ constexpr std::size_t kLMax = 160;
 constexpr double kEnvelopeMargin = 1.5;  ///< regen headroom over observed
 constexpr double kEnvelopeFloor = 0.005; ///< don't pin below 0.5%
 constexpr double kSanityCeiling = 0.20;  ///< even regen refuses >20% error
+constexpr double kDenomGuard = 0.01;     ///< of the spectrum peak (EE/TE)
 
 std::string envelope_path(const std::string& preset) {
   return std::string(PLINGER_GOLDEN_DIR) + "/accuracy_envelope_" + preset +
@@ -65,38 +78,68 @@ pr::RunConfig base_config(const std::string& preset) {
   return cfg;
 }
 
-/// Raw (COBE normalization divided back out) C_l^TT of one solver.
-std::vector<double> raw_cl_tt(const pr::RunConfig& cfg,
-                              std::shared_ptr<const pr::RunContext> ctx) {
+/// Raw (COBE normalization divided back out) spectra of one solver.
+pr::SpectrumSet raw_spectra(const pr::RunConfig& cfg,
+                            std::shared_ptr<const pr::RunContext> ctx) {
   const pr::RunPlan plan(cfg, ctx);
   const auto out = plan.execute();
-  const auto spec = pr::make_spectra(plan, out, kLMax);
-  std::vector<double> cl = spec.temperature.cl;
-  for (double& c : cl) c /= spec.cobe_factor;
-  return cl;
+  pr::SpectrumSet spec = pr::make_spectra(plan, out, kLMax);
+  for (double& c : spec.temperature.cl) c /= spec.cobe_factor;
+  for (double& c : spec.polarization.cl) c /= spec.cobe_factor;
+  for (double& c : spec.cross.cl) c /= spec.cobe_factor;
+  return spec;
 }
 
-/// Per-l relative error of the LOS spectrum against the hierarchy
+struct RelErrors {
+  std::vector<double> tt, ee, te;  ///< indexed by l, valid l = 2..kLMax
+};
+
+/// Per-l error with a guarded denominator: spectra that pass through
+/// (or hug) zero are measured against 1% of their own peak there.
+std::vector<double> guarded_rel(const std::vector<double>& fast,
+                                const std::vector<double>& ref) {
+  double peak = 0.0;
+  for (std::size_t l = 2; l <= kLMax; ++l) {
+    peak = std::max(peak, std::abs(ref[l]));
+  }
+  std::vector<double> rel(kLMax + 1, 0.0);
+  for (std::size_t l = 2; l <= kLMax; ++l) {
+    const double denom = std::max(std::abs(ref[l]), kDenomGuard * peak);
+    rel[l] = std::abs(fast[l] - ref[l]) / denom;
+  }
+  return rel;
+}
+
+/// Per-l relative errors of the LOS spectra against the hierarchy
 /// reference, l = 2..kLMax, computed once per preset (both runs share
 /// one context, i.e. one thermo cache — exactly how a production batch
 /// would compare them).
-const std::vector<double>& rel_errors(const std::string& preset) {
-  static std::map<std::string, std::vector<double>> cache;
+const RelErrors& rel_errors(const std::string& preset) {
+  static std::map<std::string, RelErrors> cache;
   const auto it = cache.find(preset);
   if (it != cache.end()) return it->second;
 
   pr::RunConfig hier = base_config(preset);
+  // The EE/TE reference needs G towers reaching past kLMax: raise the
+  // config-level ceiling and let the per-mode clamp (polarization tower
+  // <= k-dependent photon tower) pick the tallest valid tower per k.
+  hier.lmax_photon = 400;
+  hier.lmax_polarization = 400;
   pr::RunConfig los = base_config(preset);
   los.solver = "los";
   los.los_accuracy = "standard";
   const auto ctx = pr::make_context(hier);
-  const std::vector<double> ref = raw_cl_tt(hier, ctx);
-  const std::vector<double> fast = raw_cl_tt(los, ctx);
+  const pr::SpectrumSet ref = raw_spectra(hier, ctx);
+  const pr::SpectrumSet fast = raw_spectra(los, ctx);
 
-  std::vector<double> rel(kLMax + 1, 0.0);
+  RelErrors rel;
+  rel.tt.assign(kLMax + 1, 0.0);
   for (std::size_t l = 2; l <= kLMax; ++l) {
-    rel[l] = std::abs(fast[l] - ref[l]) / std::abs(ref[l]);
+    rel.tt[l] = std::abs(fast.temperature.cl[l] - ref.temperature.cl[l]) /
+                std::abs(ref.temperature.cl[l]);
   }
+  rel.ee = guarded_rel(fast.polarization.cl, ref.polarization.cl);
+  rel.te = guarded_rel(fast.cross.cl, ref.cross.cl);
   return cache.emplace(preset, std::move(rel)).first->second;
 }
 
@@ -109,23 +152,31 @@ TEST_P(SolverAccuracy, RegenerateEnvelopeIfRequested) {
     GTEST_SKIP() << "set PLINGER_REGEN_ACCURACY=1 to rewrite the envelope";
   }
   const std::string preset = GetParam();
-  const std::vector<double>& rel = rel_errors(preset);
-  double worst = 0.0;
+  const RelErrors& rel = rel_errors(preset);
+  double worst_tt = 0.0, worst_ee = 0.0, worst_te = 0.0;
   std::ofstream os(envelope_path(preset));
   ASSERT_TRUE(os.is_open()) << envelope_path(preset);
-  plinger::io::AsciiTableWriter table(os, {"l", "max_rel"}, 17);
+  plinger::io::AsciiTableWriter table(
+      os, {"l", "max_rel_tt", "max_rel_ee", "max_rel_te"}, 17);
   for (std::size_t l = 2; l <= kLMax; ++l) {
     // Even at regen time a projection this far off the hierarchy is a
     // bug, not a looser envelope.
-    ASSERT_LE(rel[l], kSanityCeiling) << preset << " l=" << l;
-    worst = std::max(worst, rel[l]);
-    const double cap =
-        std::max(kEnvelopeFloor, kEnvelopeMargin * rel[l]);
-    const double row[] = {static_cast<double>(l), cap};
+    ASSERT_LE(rel.tt[l], kSanityCeiling) << preset << " TT l=" << l;
+    ASSERT_LE(rel.ee[l], kSanityCeiling) << preset << " EE l=" << l;
+    ASSERT_LE(rel.te[l], kSanityCeiling) << preset << " TE l=" << l;
+    worst_tt = std::max(worst_tt, rel.tt[l]);
+    worst_ee = std::max(worst_ee, rel.ee[l]);
+    worst_te = std::max(worst_te, rel.te[l]);
+    const double row[] = {
+        static_cast<double>(l),
+        std::max(kEnvelopeFloor, kEnvelopeMargin * rel.tt[l]),
+        std::max(kEnvelopeFloor, kEnvelopeMargin * rel.ee[l]),
+        std::max(kEnvelopeFloor, kEnvelopeMargin * rel.te[l])};
     table.row(row);
   }
-  std::printf("accuracy[%s]: worst observed rel error %.4f\n",
-              preset.c_str(), worst);
+  std::printf(
+      "accuracy[%s]: worst observed rel error TT %.4f EE %.4f TE %.4f\n",
+      preset.c_str(), worst_tt, worst_ee, worst_te);
 }
 
 TEST_P(SolverAccuracy, LosClWithinPinnedEnvelope) {
@@ -138,17 +189,26 @@ TEST_P(SolverAccuracy, LosClWithinPinnedEnvelope) {
   const auto rows = plinger::io::read_ascii_table(is);
   ASSERT_EQ(rows.size(), kLMax - 1) << "l range changed; regenerate";
 
-  const std::vector<double>& rel = rel_errors(preset);
+  const RelErrors& rel = rel_errors(preset);
   for (const auto& row : rows) {
-    ASSERT_EQ(row.size(), 2u);
+    ASSERT_EQ(row.size(), 4u)
+        << "fixture predates the EE/TE gate; regenerate";
     const auto l = static_cast<std::size_t>(row[0]);
     ASSERT_GE(l, 2u);
     ASSERT_LE(l, kLMax);
     // The committed envelope is itself bounded: a regen that needed
     // more than the ceiling would have refused to write it.
-    ASSERT_LE(row[1], kEnvelopeMargin * kSanityCeiling + 1e-12);
-    EXPECT_LE(rel[l], row[1])
+    for (int c = 1; c <= 3; ++c) {
+      ASSERT_LE(row[c], kEnvelopeMargin * kSanityCeiling + 1e-12);
+    }
+    EXPECT_LE(rel.tt[l], row[1])
         << preset << ": C_l^TT drifted past the pinned envelope at l="
+        << l;
+    EXPECT_LE(rel.ee[l], row[2])
+        << preset << ": C_l^EE drifted past the pinned envelope at l="
+        << l;
+    EXPECT_LE(rel.te[l], row[3])
+        << preset << ": C_l^TE drifted past the pinned envelope at l="
         << l;
   }
 }

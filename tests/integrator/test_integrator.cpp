@@ -62,12 +62,13 @@ pr::RunConfig small_config(const std::string& integrator) {
 }
 
 /// solver=auto config whose k-grid straddles kAutoSolverCrossoverK:
-/// 0.002, 0.005, 0.008 route to the hierarchy; 0.011 ... 0.02 to LOS.
+/// 0.0002, 0.0005, 0.0008 route to the hierarchy; 0.0011 ... 0.002 to
+/// LOS.
 pr::RunConfig auto_config(const std::string& driver = "serial") {
   pr::RunConfig cfg;
   cfg.grid = "linear";
-  cfg.k_min = 0.002;
-  cfg.k_max = 0.02;
+  cfg.k_min = 0.0002;
+  cfg.k_max = 0.002;
   cfg.n_k = 7;
   cfg.l_max = 24;
   cfg.lmax_photon = 24;

@@ -366,6 +366,80 @@ TEST(TcpWorldLoopback, VanishedMasterThrowsPeerLost) {
   worker->send(wr, 0, pp::kTagRequest, {{1.0}});
 }
 
+// --- bounded-retry connect ------------------------------------------
+
+TEST(TcpWorldBackoff, RejectsInvalidRetryPolicy) {
+  EXPECT_THROW((void)pm::TcpWorld::connect_with_backoff(
+                   "127.0.0.1", 1, /*attempts=*/0, /*backoff_ms=*/10),
+               plinger::InvalidArgument);
+  EXPECT_THROW((void)pm::TcpWorld::connect_with_backoff(
+                   "127.0.0.1", 1, /*attempts=*/2, /*backoff_ms=*/-1),
+               plinger::InvalidArgument);
+}
+
+TEST(TcpWorldBackoff, BoundedAttemptsThenLastErrorRethrown) {
+  // Reserve a port with no listener behind it: every attempt fails
+  // immediately (attempt_timeout 0 = exactly one connect() syscall per
+  // attempt), so the call must spend its attempt budget and rethrow —
+  // and the doubling sleeps (10 + 20 ms) must actually have happened.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);  // bound but never listened: connections are refused
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)pm::TcpWorld::connect_with_backoff(
+                   "127.0.0.1", port, /*attempts=*/3, /*backoff_ms=*/10,
+                   /*attempt_timeout_seconds=*/0.0),
+               plinger::Error);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST(TcpWorldBackoff, ConnectsOnceTheMasterComesUp) {
+  // The deployment story the flag exists for: the worker dials before
+  // the master listens, keeps retrying, and joins the rendezvous when
+  // the listener finally appears on the same port.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  std::unique_ptr<pm::TcpWorld> worker;
+  std::thread dialer([&] {
+    worker = pm::TcpWorld::connect_with_backoff(
+        "127.0.0.1", port, /*attempts=*/200, /*backoff_ms=*/5,
+        /*attempt_timeout_seconds=*/0.05);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto master = pm::TcpWorld::listen("127.0.0.1", port, 1);
+  EXPECT_EQ(master->accept_workers(10.0), 1);
+  dialer.join();
+  ASSERT_TRUE(worker);
+  EXPECT_EQ(worker->size(), 2);
+  EXPECT_EQ(worker->local_rank(), 1);
+  EXPECT_EQ(master->n_peers_lost(), 0);
+}
+
 // --- multi-process E2E ----------------------------------------------
 
 run::RunConfig e2e_config() {

@@ -114,7 +114,7 @@ TEST(Records, SampleBearingPayloadRoundTripsExactly) {
 
   const auto header = pp::pack_header(5, r);
   const auto payload = pp::pack_payload(5, r);
-  EXPECT_EQ(pp::payload_version(payload), pp::kPayloadWithSamples);
+  EXPECT_EQ(pp::payload_version(payload), pp::kPayloadSourceTable);
   EXPECT_EQ(payload.size(),
             pp::payload_length_los(r.lmax, 4, r.samples.size()));
 
@@ -161,9 +161,30 @@ TEST(Records, CorruptSamplePayloadRejected) {
 
   // An unknown version stamp must be rejected, not guessed at.
   auto alien = payload;
-  alien[7] = 1.0;  // neither kPayloadClassic nor kPayloadWithSamples
+  alien[7] = 1.0;  // no record family ever used version 1
   EXPECT_THROW(pp::unpack_records(header, alien, ik),
                plinger::InvalidArgument);
+}
+
+TEST(Records, RetiredVersionTwoRejectedWithPointer) {
+  // A pre-SourceTable LOS journal (version 2: Pi column zero through
+  // tight coupling) must be refused with a message that says why and
+  // what to do — not parsed into zero polarization sources, and not
+  // lumped in with "unknown version".
+  auto r = fake_result();
+  r.samples.resize(2);
+  const auto header = pp::pack_header(3, r);
+  auto payload = pp::pack_payload(3, r);
+  payload[7] = pp::kPayloadWithSamples;
+  std::size_t ik = 0;
+  try {
+    pp::unpack_records(header, payload, ik);
+    FAIL() << "version-2 payload must be rejected";
+  } catch (const plinger::InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version-2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rerun"), std::string::npos) << msg;
+  }
 }
 
 TEST(Records, MismatchedRecordsRejected) {

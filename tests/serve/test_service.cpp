@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <future>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +91,41 @@ TEST(SpectrumService, TierProgressionComputeThenLruThenJournal) {
   EXPECT_EQ(s.journal_hits, 1u);
 
   fs::remove_all(dir);
+}
+
+TEST(SpectrumService, PayloadCarriesPolarizationColumnsAndCoverage) {
+  // Every CL row is "CL l tt ee te"; the POL line between the rows and
+  // the COBE factor reports the honest polarization reach, so a client
+  // can tell live EE/TE entries from structural zeros.
+  sv::SpectrumService service(sv::ServeOptions{});
+  const sv::Answer a = service.answer(fast_config());
+  const std::string& p = a.body->payload;
+
+  std::size_t cl_rows = 0;
+  bool ee_alive = false;
+  std::istringstream is(p);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("CL ", 0) != 0) continue;
+    ++cl_rows;
+    std::istringstream row(line);
+    std::string tag;
+    std::size_t l = 0;
+    double tt = 0.0, ee = 0.0, te = 0.0;
+    ASSERT_TRUE(row >> tag >> l >> tt >> ee >> te) << line;
+    ee_alive = ee_alive || ee != 0.0;
+    (void)tt;
+    (void)te;
+  }
+  EXPECT_EQ(cl_rows, a.body->l_max - 1);
+  EXPECT_TRUE(ee_alive) << "EE column is all zeros";
+
+  const auto pol_at = p.find("POL l_max_pol=");
+  ASSERT_NE(pol_at, std::string::npos) << p;
+  EXPECT_LT(pol_at, p.find("COBE "));
+  const std::size_t reach =
+      std::stoul(p.substr(pol_at + std::string("POL l_max_pol=").size()));
+  EXPECT_GE(reach, 2u);
 }
 
 TEST(SpectrumService, CoalescesConcurrentIdenticalRequests) {

@@ -1,17 +1,24 @@
-// Crash-resume for the sample-bearing (version-2) LOS record type: a
-// solver=los run killed after N checkpoints must resume — through the
-// run layer, for all three drivers — to a C_l^TT bitwise identical to
-// an uninterrupted LOS run.  The "crash" is the same flush-then-stop
-// hook the hierarchy crash-resume suite uses (StoreOptions::stop_after).
+// Crash-resume for the sample-bearing (version-3 SourceTable) LOS
+// record type: a solver=los run killed after N checkpoints must resume
+// — through the run layer, for all three drivers — to a C_l^TT bitwise
+// identical to an uninterrupted LOS run.  The "crash" is the same
+// flush-then-stop hook the hierarchy crash-resume suite uses
+// (StoreOptions::stop_after).
 //
 // Also pinned here: the LOS-extended identity makes hierarchy and LOS
-// journals mutually unresumable (StoreIdentityMismatch both ways), and
-// the journal round-trips the TransferSamples bit for bit (the
-// projection input, not just the projected output).
+// journals mutually unresumable (StoreIdentityMismatch both ways), the
+// journal round-trips the TransferSamples bit for bit including the
+// polarization column (the projection input, not just the projected
+// output), and a journal holding retired version-2 records is refused
+// with a message that says what to do — never silently truncated as a
+// torn tail.
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +28,7 @@
 #include "run/context.hpp"
 #include "run/plan.hpp"
 #include "run/products.hpp"
+#include "store/crc32.hpp"
 #include "store/mode_result_store.hpp"
 
 namespace pr = plinger::run;
@@ -122,6 +130,7 @@ TEST_P(LosResume, ResumedClBitwiseMatchesUninterrupted) {
       EXPECT_EQ(it->second.samples[j].phi, r.samples[j].phi);
       EXPECT_EQ(it->second.samples[j].psi, r.samples[j].psi);
       EXPECT_EQ(it->second.samples[j].alpha, r.samples[j].alpha);
+      EXPECT_EQ(it->second.samples[j].pi_pol, r.samples[j].pi_pol);
     }
   }
 
@@ -166,6 +175,96 @@ TEST(LosResumeIdentity, HierarchyAndLosJournalsNeverCrossResume) {
 
   fs::remove(hier.store);
   fs::remove(los2.store);
+}
+
+TEST(LosResume, JournaledSamplesCarryALivePolarizationColumn) {
+  // The version-3 layout exists because version 2's Pi column was dead
+  // through tight coupling; a journal whose pi_pol round-trips zeros
+  // would pass the bitwise test above while still being useless to the
+  // E-mode projection.  Pin that the journaled column is alive.
+  const auto ctx = shared_context();
+  pr::RunConfig cfg = los_config("serial");
+  cfg.store = temp_path("polcol");
+  const pr::RunPlan plan(cfg, ctx);
+  (void)plan.execute();
+
+  // Reload purely from the journal.
+  pr::RunConfig cfg2 = cfg;
+  const auto out = pr::RunPlan(cfg2, ctx).execute();
+  ASSERT_EQ(out.results.size(), kNModes);
+  EXPECT_EQ(out.n_modes_loaded, kNModes);
+  for (const auto& [ik, r] : out.results) {
+    ASSERT_FALSE(r.samples.empty()) << "ik " << ik;
+    bool alive = false;
+    for (const auto& s : r.samples) alive = alive || s.pi_pol != 0.0;
+    EXPECT_TRUE(alive) << "ik " << ik
+                       << ": journaled pi_pol column is all zeros";
+  }
+  fs::remove(cfg.store);
+}
+
+TEST(LosResume, RetiredVersionTwoJournalRefusedLoudly) {
+  // Rewrite a fresh version-3 journal's records to claim the retired
+  // version-2 layout (re-sealing each record CRC so the frame itself is
+  // intact).  Both the scanner and a resuming run must refuse the
+  // journal with a message that says what to do — a CRC-clean retired
+  // record must NOT be silently truncated as a torn tail and recomputed.
+  const auto ctx = shared_context();
+  pr::RunConfig cfg = los_config("serial");
+  cfg.store = temp_path("v2refused");
+  (void)pr::RunPlan(cfg, ctx).execute();
+
+  // Patch every mode record in place: frames are [u32 len][doubles]
+  // [u32 len]; the first frame is the 6-double file header, every
+  // later one is a mode record whose payload version sits at double
+  // index 21 + 7 and whose last double is the CRC of the rest.
+  {
+    std::fstream f(cfg.store,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    bool first = true;
+    std::size_t patched = 0;
+    while (true) {
+      std::uint32_t head = 0;
+      f.read(reinterpret_cast<char*>(&head), sizeof head);
+      if (f.gcount() < static_cast<std::streamsize>(sizeof head)) break;
+      const auto body_at = f.tellg();
+      std::vector<double> rec(head / sizeof(double));
+      f.read(reinterpret_cast<char*>(rec.data()), head);
+      ASSERT_EQ(f.gcount(), static_cast<std::streamsize>(head));
+      f.seekg(sizeof(std::uint32_t), std::ios::cur);  // trailing length
+      if (!first) {
+        ASSERT_GE(rec.size(), 30u);
+        ASSERT_EQ(rec[21 + 7], 3.0) << "expected a version-3 record";
+        rec[21 + 7] = 2.0;
+        rec.back() = static_cast<double>(plinger::store::crc32_doubles(
+            std::span<const double>(rec.data(), rec.size() - 1)));
+        const auto after = f.tellg();
+        f.seekp(body_at);
+        f.write(reinterpret_cast<const char*>(rec.data()), head);
+        f.seekg(after);
+        ++patched;
+      }
+      first = false;
+    }
+    ASSERT_GE(patched, kNModes);
+  }
+
+  // The scanner names the problem...
+  try {
+    (void)ps::ModeResultStore::scan(cfg.store);
+    FAIL() << "scan accepted a retired version-2 journal";
+  } catch (const ps::StoreCorrupt& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version-2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rerun the line-of-sight modes"),
+              std::string::npos)
+        << msg;
+  }
+
+  // ...and so does a run that tries to resume the journal.
+  EXPECT_THROW((void)pr::RunPlan(cfg, ctx).execute(), ps::StoreCorrupt);
+  fs::remove(cfg.store);
 }
 
 TEST(LosResumeIdentity, SamplingChangeChangesTheIdentity) {
